@@ -1,0 +1,106 @@
+"""Bench: component-level throughput (replay, network, engine).
+
+Not tied to one figure; these are the unit costs Section 5 reasons about
+when projecting the full 1,800 x 1,000-step run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import MSELoss
+from repro.nn.network import build_mlp
+from repro.nn.optimizers import RMSprop
+from repro.rl.prioritized_replay import PrioritizedReplayMemory
+from repro.rl.replay import ReplayMemory
+
+
+@pytest.fixture(scope="module")
+def filled_replay():
+    mem = ReplayMemory(50000, 128, seed=0)
+    rng = np.random.default_rng(0)
+    states = rng.normal(size=(1000, 128)).astype(np.float32)
+    for k in range(20000):
+        s = states[k % 1000]
+        mem.push(s, k % 12, float(k % 3 - 1), states[(k + 1) % 1000], k % 50 == 0)
+    return mem
+
+
+def test_bench_replay_push(benchmark):
+    mem = ReplayMemory(50000, 128, seed=0)
+    s = np.zeros(128, dtype=np.float32)
+
+    def push():
+        mem.push(s, 0, 1.0, s, False)
+
+    benchmark(push)
+
+
+def test_bench_replay_sample(benchmark, filled_replay):
+    batch = benchmark(filled_replay.sample, 32)
+    assert batch.states.shape == (32, 128)
+
+
+def test_bench_prioritized_sample(benchmark):
+    mem = PrioritizedReplayMemory(20000, 128, seed=0)
+    rng = np.random.default_rng(1)
+    s = np.zeros(128, dtype=np.float32)
+    for k in range(10000):
+        mem.push(s, k % 12, 1.0, s, False)
+    mem.update_priorities(
+        np.arange(10000), rng.uniform(0.1, 10.0, size=10000)
+    )
+    batch = benchmark(mem.sample, 32)
+    assert batch.weights.max() == pytest.approx(1.0)
+
+
+def test_bench_qnet_forward_batch32(benchmark):
+    """The per-learn-step forward cost at bench state width."""
+    net = build_mlp(333, (135, 135), 12, rng=0)
+    x = np.random.default_rng(0).normal(size=(32, 333))
+    out = benchmark(net.predict, x)
+    assert out.shape == (32, 12)
+
+
+def test_bench_qnet_forward_paper_width(benchmark):
+    """Single-state forward at the paper's 16,599-dim input."""
+    net = build_mlp(16599, (135, 135), 12, rng=0)
+    x = np.random.default_rng(0).normal(size=16599)
+    out = benchmark(net.predict, x)
+    assert out.shape == (12,)
+
+
+def test_bench_qnet_train_step(benchmark):
+    net = build_mlp(333, (135, 135), 12, rng=0)
+    opt = RMSprop(net.params(), net.grads(), lr=2.5e-4)
+    loss = MSELoss()
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(32, 333))
+    t = rng.normal(size=(32, 12))
+
+    def step():
+        net.zero_grad()
+        pred = net.forward(x)
+        _v, g = loss(pred, t)
+        net.backward(g)
+        opt.step()
+
+    benchmark(step)
+
+
+def test_bench_engine_step_and_score(benchmark, bench_engine):
+    bench_engine.reset()
+    k = [0]
+
+    def step():
+        bench_engine.apply_action(k[0] % 12)
+        k[0] += 1
+        return bench_engine.score()
+
+    s = benchmark(step)
+    assert np.isfinite(s)
+
+
+def test_bench_state_vector(benchmark, bench_engine):
+    bench_engine.reset()
+    state = benchmark(bench_engine.state_vector)
+    assert state.shape == (bench_engine.state_dim(),)

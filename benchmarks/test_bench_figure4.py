@@ -1,0 +1,71 @@
+"""Bench: Figure 4 -- the training curve and its shape.
+
+The paper reports average max predicted Q per episode rising to ~35,000
+around episode 500 and declining to ~27,000 by 1,800 (non-convergence).
+At CI scale we reproduce and assert the *shape* -- rise from the start of
+learning to an interior peak, then decline -- and print the measured
+curve for EXPERIMENTS.md.  Absolute magnitudes are expected to differ
+(unnormalized-input artefact; see DESIGN.md section 5).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figure4 import run_figure4_experiment
+
+from benchmarks.conftest import FIGURE4_BENCH_CFG
+
+
+@pytest.fixture(scope="module")
+def figure4_result():
+    return run_figure4_experiment(FIGURE4_BENCH_CFG)
+
+
+def test_bench_figure4_training(benchmark):
+    """The full training run, timed (one round -- it is ~10s)."""
+    result = benchmark.pedantic(
+        run_figure4_experiment, args=(FIGURE4_BENCH_CFG,),
+        rounds=1, iterations=1,
+    )
+    assert len(result.history.episodes) == FIGURE4_BENCH_CFG.episodes
+
+
+def test_figure4_shape_rise_peak_decline(figure4_result):
+    """The paper's non-convergence signature, asserted."""
+    shape = figure4_result.shape(smooth=5)
+    print("\n" + figure4_result.summary())
+    assert shape.rose, "avg max Q must rise after learning starts"
+    assert shape.peak_interior, "peak must not sit at either end"
+    assert shape.declined_after_peak, (
+        "avg max Q must decline from its peak (the paper's "
+        "non-convergence result)"
+    )
+
+
+def test_figure4_peak_to_final_ratio(figure4_result):
+    """Paper: peak ~35k -> final ~27k, a ~23% drop.  We assert a decline
+    of at least a few percent and at most a collapse (shape, not size)."""
+    s = figure4_result.shape(smooth=5)
+    drop = (s.peak - s.last) / abs(s.peak)
+    print(f"\npeak={s.peak:.2f} final={s.last:.2f} drop={100 * drop:.1f}%")
+    assert 0.0 < drop < 0.9
+
+
+def test_figure4_q_scale_consistent_with_rewards(figure4_result):
+    """With clipped unit rewards and gamma=0.99, Q cannot exceed the
+    geometric bound 1/(1-gamma); magnitudes must be sane."""
+    gamma = FIGURE4_BENCH_CFG.gamma
+    bound = 1.0 / (1.0 - gamma)
+    series = figure4_result.series
+    assert series.max() < 2.0 * bound  # slack for overestimation spikes
+    assert np.isfinite(series).all()
+
+
+def test_figure4_measurement_protocol(figure4_result):
+    """The series starts only once learning is active, per the paper."""
+    eps = figure4_result.history.episodes
+    inactive = [e for e in eps if not e.learning_active]
+    active = [e for e in eps if e.learning_active]
+    assert len(active) == figure4_result.series.size
+    # Learning starts early at CI scale but not at episode zero.
+    assert len(inactive) >= 1

@@ -1,0 +1,69 @@
+"""Bench: Figures 1 & 3 -- the 2BSM complex geometry.
+
+The figures' quantitative content: a complex with the paper's atom
+counts whose crystallographic recess is the score optimum, a displaced
+initial pose, and catastrophic scores inside the protein.  Timed
+sections: complex construction at bench and 2BSM scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chem.builders import build_complex
+from repro.config import ComplexConfig
+from repro.experiments.geometry import run_geometry_experiment
+from repro.scoring.composite import interaction_score
+
+from benchmarks.conftest import BENCH_COMPLEX_CFG
+
+
+def test_bench_build_complex(benchmark):
+    built = benchmark.pedantic(
+        build_complex, args=(BENCH_COMPLEX_CFG,), rounds=3, iterations=1
+    )
+    assert built.receptor.n_atoms == BENCH_COMPLEX_CFG.receptor_atoms
+
+
+def test_bench_build_2bsm_scale(benchmark):
+    built = benchmark.pedantic(
+        build_complex, args=(ComplexConfig(),), rounds=2, iterations=1
+    )
+    assert built.receptor.n_atoms == 3264
+    assert built.ligand_crystal.n_atoms == 45
+
+
+def test_figure3_pose_ordering(bench_complex):
+    """Crystal (B) must decisively outscore initial (A) -- Figure 3."""
+    s_crystal = interaction_score(
+        bench_complex.receptor, bench_complex.ligand_crystal
+    )
+    s_initial = interaction_score(
+        bench_complex.receptor, bench_complex.ligand_initial
+    )
+    print(f"\ncrystal={s_crystal:.1f}  initial={s_initial:.1f}")
+    assert s_crystal > s_initial
+    assert s_crystal > 0
+
+
+def test_figure1_geometry_report(benchmark):
+    report = benchmark.pedantic(
+        run_geometry_experiment, args=(BENCH_COMPLEX_CFG,),
+        rounds=2, iterations=1,
+    )
+    assert report.pocket_is_optimum
+    assert report.overlap_is_catastrophic
+    print("\n" + report.summary())
+
+
+def test_score_range_matches_paper_narrative(paper_complex):
+    """Paper: scores span 'big negative numbers (e.g. -4.5e+21) to 500'."""
+    crystal = interaction_score(
+        paper_complex.receptor, paper_complex.ligand_crystal
+    )
+    deep = paper_complex.ligand_crystal.translated(
+        -paper_complex.pocket_axis * paper_complex.config.receptor_radius
+    )
+    clash = interaction_score(paper_complex.receptor, deep)
+    print(f"\n2BSM-scale crystal score: {crystal:.1f}   clash: {clash:.3e}")
+    assert 0 < crystal < 2000.0
+    assert clash < -1e9

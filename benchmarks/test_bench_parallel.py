@@ -1,0 +1,145 @@
+"""Bench: METADOCK's parallel evaluation patterns.
+
+- spot decomposition of the receptor surface;
+- batched-vectorized pose scoring vs per-pose loops (data parallelism);
+- process-pool fan-out for large pose sets (task parallelism);
+- the metaheuristic schema and Monte Carlo under a fixed budget;
+- virtual screening of a ligand library.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metadock.library import generate_library
+from repro.metadock.metaheuristic import MetaheuristicSchema
+from repro.metadock.montecarlo import MonteCarloConfig, MonteCarloOptimizer
+from repro.metadock.parallel import score_coords_parallel
+from repro.metadock.screening import screen_library
+from repro.metadock.spots import surface_spots
+from repro.metadock.strategies import STRATEGY_PRESETS
+
+from benchmarks.conftest import BENCH_COMPLEX_CFG
+
+
+def test_bench_surface_spots(benchmark, bench_complex):
+    spots = benchmark(surface_spots, bench_complex.receptor, 16)
+    assert len(spots) >= 8
+
+
+def test_bench_pose_batch_1024(benchmark, bench_complex):
+    rng = np.random.default_rng(0)
+    lig = bench_complex.ligand_crystal
+    batch = lig.coords[None] + rng.normal(scale=3.0, size=(1024, 1, 3))
+    scores = benchmark.pedantic(
+        score_coords_parallel,
+        args=(bench_complex.receptor, lig, batch),
+        kwargs={"n_workers": 1},
+        rounds=3,
+        iterations=1,
+    )
+    assert scores.shape == (1024,)
+
+
+def test_bench_pose_batch_multiprocess(benchmark, bench_complex):
+    rng = np.random.default_rng(0)
+    lig = bench_complex.ligand_crystal
+    batch = lig.coords[None] + rng.normal(scale=3.0, size=(2048, 1, 3))
+    scores = benchmark.pedantic(
+        score_coords_parallel,
+        args=(bench_complex.receptor, lig, batch),
+        kwargs={"n_workers": 4, "chunk": 256},
+        rounds=2,
+        iterations=1,
+    )
+    assert scores.shape == (2048,)
+
+
+def test_parallel_matches_serial(bench_complex):
+    rng = np.random.default_rng(1)
+    lig = bench_complex.ligand_crystal
+    batch = lig.coords[None] + rng.normal(scale=3.0, size=(600, 1, 3))
+    serial = score_coords_parallel(
+        bench_complex.receptor, lig, batch, n_workers=1
+    )
+    par = score_coords_parallel(
+        bench_complex.receptor, lig, batch, n_workers=4, chunk=128
+    )
+    np.testing.assert_allclose(par, serial, rtol=1e-10)
+
+
+@pytest.mark.parametrize("strategy", ["ga", "local", "scatter"])
+def test_bench_metaheuristic_strategies(benchmark, bench_engine, strategy):
+    params = STRATEGY_PRESETS[strategy](500)
+
+    def run():
+        return MetaheuristicSchema(bench_engine, params, seed=0).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.best_score > 0
+
+
+def test_bench_montecarlo(benchmark, bench_engine):
+    def run():
+        return MonteCarloOptimizer(
+            bench_engine, MonteCarloConfig(steps=500, restarts=2), seed=0
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert np.isfinite(result.best_score)
+
+
+def test_bench_virtual_screening(benchmark, bench_complex):
+    library = generate_library(BENCH_COMPLEX_CFG, 4, seed=0)
+
+    def run():
+        return screen_library(
+            bench_complex, library, strategy="local", budget=150, seed=0
+        )
+
+    hits = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(hits) == 4
+    scores = [h.best_score for h in hits]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_bench_vectorized_collection(benchmark, bench_complex):
+    """Batched acting over N envs vs the per-env network cost."""
+    from repro.env.docking_env import DockingEnv
+    from repro.env.vectorized import SyncVectorEnv
+    from repro.metadock.engine import MetadockEngine
+    from repro.rl.agent import AgentConfig, DQNAgent
+    from repro.rl.vector_trainer import VectorTrainer
+
+    def run():
+        venv = SyncVectorEnv(
+            [
+                lambda: DockingEnv(
+                    MetadockEngine(
+                        bench_complex, shift_length=1.0, rotation_angle_deg=2.0
+                    )
+                )
+            ]
+            * 4
+        )
+        try:
+            agent = DQNAgent(
+                AgentConfig(
+                    state_dim=venv.state_dim,
+                    n_actions=venv.n_actions,
+                    hidden_sizes=(60, 60),
+                    replay_capacity=4096,
+                    minibatch_size=32,
+                    initial_exploration_steps=0,
+                    epsilon_decay=1e-3,
+                    seed=0,
+                )
+            )
+            return VectorTrainer(venv, agent, train_interval=4).run(
+                total_steps=200
+            )
+        finally:
+            venv.close()
+
+    stats = benchmark.pedantic(run, rounds=2, iterations=1)
+    print(f"\nvectorized collection: {stats.steps_per_second:.1f} steps/s")
+    assert stats.total_steps == 200

@@ -1,0 +1,104 @@
+"""Bench: Figure 2 -- the DQN <-> METADOCK interaction loop.
+
+Measures the full s -> a -> r -> s' cycle (agent forward pass, engine
+move + score, reward/termination rules) and quantifies the paper's
+limitation #1: RAM vs on-disk file communication.
+"""
+
+import numpy as np
+import pytest
+
+from repro.env.comm import FileComm, RamComm
+from repro.env.docking_env import DockingEnv
+from repro.metadock.engine import MetadockEngine
+from repro.rl.agent import AgentConfig, DQNAgent
+
+
+def _make_env_agent(built, comm):
+    engine = MetadockEngine(built, shift_length=1.0, rotation_angle_deg=2.0)
+    env = DockingEnv(engine, comm=comm)
+    agent = DQNAgent(
+        AgentConfig(
+            state_dim=env.state_dim,
+            n_actions=env.n_actions,
+            hidden_sizes=(60, 60),
+            replay_capacity=4096,
+            minibatch_size=32,
+            initial_exploration_steps=0,
+            epsilon_decay=1e-3,
+            seed=0,
+        )
+    )
+    return env, agent
+
+
+def _loop(env, agent, steps: int) -> int:
+    state = env.reset()
+    done_count = 0
+    for t in range(steps):
+        action, _q = agent.act(state, t)
+        next_state, reward, done, _info = env.step(action)
+        agent.remember(state, action, reward, next_state, done)
+        state = next_state
+        if done:
+            done_count += 1
+            state = env.reset()
+    return done_count
+
+
+def test_bench_interaction_loop_ram(benchmark, bench_complex):
+    env, agent = _make_env_agent(bench_complex, RamComm())
+    try:
+        benchmark.pedantic(
+            _loop, args=(env, agent, 100), rounds=3, iterations=1
+        )
+    finally:
+        env.close()
+
+
+def test_bench_interaction_loop_file(benchmark, bench_complex):
+    """The paper's actual setup: every step round-trips through disk."""
+    env, agent = _make_env_agent(bench_complex, FileComm())
+    try:
+        benchmark.pedantic(
+            _loop, args=(env, agent, 100), rounds=3, iterations=1
+        )
+    finally:
+        env.close()
+
+
+def test_bench_learning_step(benchmark, bench_complex):
+    """One Algorithm 2 gradient step at bench-scale state width."""
+    env, agent = _make_env_agent(bench_complex, RamComm())
+    try:
+        _loop(env, agent, 64)  # fill replay
+        info = benchmark(agent.learn)
+        assert np.isfinite(info.loss)
+    finally:
+        env.close()
+
+
+def test_file_comm_overhead_is_real(bench_complex):
+    """RAM must beat file comm; report the ratio the paper implies."""
+    import time
+
+    ram_env, ram_agent = _make_env_agent(bench_complex, RamComm())
+    file_env, file_agent = _make_env_agent(bench_complex, FileComm())
+    try:
+        _loop(ram_env, ram_agent, 10)  # warm
+        t0 = time.perf_counter()
+        _loop(ram_env, ram_agent, 150)
+        t_ram = time.perf_counter() - t0
+        _loop(file_env, file_agent, 10)
+        t0 = time.perf_counter()
+        _loop(file_env, file_agent, 150)
+        t_file = time.perf_counter() - t0
+        print(
+            f"\nram: {150 / t_ram:.1f} steps/s   "
+            f"file: {150 / t_file:.1f} steps/s   "
+            f"overhead: {100 * (t_file - t_ram) / t_ram:.1f}%"
+        )
+        assert t_file > t_ram
+    finally:
+        ram_env.close()
+        file_env.close()

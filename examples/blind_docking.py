@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Blind docking: find the binding site with no prior knowledge.
+
+Decomposes the receptor surface into spots (the METADOCK/BINDSURF
+pattern), runs an independent pose search at each in parallel, refines
+the winner with deterministic pattern search, and reports how close the
+result lands to the true pocket -- plus an exported multi-MODEL PDB of
+the top poses for molecular viewers.
+
+Run:
+    python examples/blind_docking.py [--spots N] [--budget E] [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.chem.builders import build_complex
+from repro.chem.pdb import write_pdb_trajectory
+from repro.config import ComplexConfig
+from repro.metadock.blind import blind_dock
+from repro.metadock.engine import MetadockEngine
+from repro.metadock.pose import apply_pose
+from repro.metadock.refinement import refine_pose
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--spots", type=int, default=10)
+    parser.add_argument("--budget", type=int, default=200)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None, help="PDB trajectory output")
+    args = parser.parse_args()
+
+    cfg = ComplexConfig(
+        receptor_atoms=400,
+        ligand_atoms=14,
+        receptor_radius=12.0,
+        pocket_depth=4.5,
+        initial_offset=8.0,
+        rotatable_bonds=2,
+        seed=args.seed + 2018,
+    )
+    print(f"Building {cfg.receptor_atoms}-atom receptor ...")
+    built = build_complex(cfg)
+
+    print(
+        f"Blind docking over {args.spots} surface spots "
+        f"({args.budget} evaluations each) ..."
+    )
+    result = blind_dock(
+        built,
+        n_spots=args.spots,
+        budget_per_spot=args.budget,
+        seed=args.seed,
+        n_workers=args.workers,
+    )
+    print(result.summary())
+
+    print("\nRefining the winning pose (pattern search) ...")
+    engine = MetadockEngine(built)
+    refined = refine_pose(engine, result.best.best_pose)
+    print(
+        f"  {result.best.best_score:.2f} -> {refined.score:.2f} "
+        f"(+{refined.improvement:.2f} in {refined.evaluations} evaluations)"
+    )
+    final_dist = float(
+        np.linalg.norm(refined.pose.translation - built.pocket_center)
+    )
+    print(
+        f"  refined pose sits {final_dist:.1f} A from the true pocket "
+        f"center (spot search: {result.best.pocket_distance:.1f} A)"
+    )
+
+    if args.out:
+        frames = [
+            apply_pose(engine.template, r.best_pose)
+            for r in result.spots[:5]
+        ]
+        frames.append(apply_pose(engine.template, refined.pose))
+        write_pdb_trajectory(frames, engine.template, args.out)
+        print(
+            f"\ntop-5 spot poses + refined pose written to {args.out} "
+            f"(multi-MODEL PDB)"
+        )
+
+
+if __name__ == "__main__":
+    main()

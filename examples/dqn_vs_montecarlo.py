@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""DQN-Docking vs Monte Carlo vs METADOCK metaheuristics.
+
+Reproduces the paper's framing question: can the RL agent reach
+"positions with similar scores as those obtained with state-of-the-art
+Monte Carlo optimization methods"?  Every method gets the same score-
+evaluation budget; the crystal pose's score is the reference optimum.
+
+Run:
+    python examples/dqn_vs_montecarlo.py [--budget N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.config import ci_scale_config
+from repro.experiments.baselines import run_baseline_comparison
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget", type=int, default=1500)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    cfg = ci_scale_config(episodes=40, seed=args.seed, learning_rate=0.002)
+    print(f"Running all methods with a {args.budget}-evaluation budget ...\n")
+    comparison = run_baseline_comparison(cfg, budget=args.budget)
+    print(comparison.summary())
+    best = comparison.best_method()
+    print(
+        f"\nWinner: {best.method} at {best.best_score:.2f} "
+        f"({100 * best.best_score / comparison.crystal_score:.1f}% of the "
+        f"crystallographic score)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All metadata lives in pyproject.toml; this file exists so
+``pip install -e . --no-use-pep517`` (legacy editable install) works in
+offline environments whose setuptools cannot build PEP-660 wheels.
+"""
+
+from setuptools import setup
+
+setup()

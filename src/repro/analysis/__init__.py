@@ -1,0 +1,17 @@
+"""Post-hoc analysis of training runs and docking trajectories."""
+
+from repro.analysis.trajectories import (
+    action_histogram,
+    termination_breakdown,
+    visitation_heatmap,
+    TrajectoryReport,
+    analyze_recorder,
+)
+
+__all__ = [
+    "action_histogram",
+    "termination_breakdown",
+    "visitation_heatmap",
+    "TrajectoryReport",
+    "analyze_recorder",
+]

@@ -1,0 +1,132 @@
+"""Trajectory analysis: what the agent actually does in the pocket.
+
+Consumes :class:`repro.env.wrappers.EpisodeRecorder` traces and
+:class:`repro.rl.trainer.TrainingHistory` records to answer the
+questions the paper's discussion raises qualitatively: does the ligand
+loiter inside the receptor?  Which actions dominate?  How do episodes
+end as training progresses?
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.tables import render_table
+
+
+def action_histogram(
+    episodes: list[list[dict]], n_actions: int
+) -> np.ndarray:
+    """Normalized action frequencies over recorded episodes."""
+    if n_actions < 1:
+        raise ValueError("n_actions must be >= 1")
+    counts = np.zeros(n_actions)
+    for ep in episodes:
+        for step in ep:
+            a = int(step["action"])
+            if not 0 <= a < n_actions:
+                raise ValueError(f"action {a} outside 0..{n_actions - 1}")
+            counts[a] += 1
+    total = counts.sum()
+    return counts / total if total else counts
+
+
+def termination_breakdown(history) -> dict[str, int]:
+    """Episode-termination reasons -> counts, from a TrainingHistory."""
+    return dict(Counter(e.termination for e in history.episodes))
+
+
+def visitation_heatmap(
+    episodes: list[list[dict]],
+    *,
+    bins: int = 12,
+) -> tuple[np.ndarray, tuple[float, float]]:
+    """Histogram of visited receptor-ligand COM distances over time.
+
+    Returns (heatmap, (d_min, d_max)) where heatmap[i, j] counts visits
+    in distance-bin i during progress-decile j -- a compact picture of
+    whether the agent spends training near the surface (useful) or
+    drifting at the escape radius.
+    """
+    samples: list[tuple[float, float]] = []  # (progress, distance)
+    for ep in episodes:
+        n = len(ep)
+        for k, step in enumerate(ep):
+            d = step.get("com_distance")
+            if d is None or not np.isfinite(d):
+                continue
+            samples.append((k / max(1, n - 1), float(d)))
+    if not samples:
+        return np.zeros((bins, 10)), (0.0, 0.0)
+    arr = np.asarray(samples)
+    d_min, d_max = float(arr[:, 1].min()), float(arr[:, 1].max())
+    span = max(d_max - d_min, 1e-9)
+    d_bin = np.minimum(
+        ((arr[:, 1] - d_min) / span * bins).astype(int), bins - 1
+    )
+    p_bin = np.minimum((arr[:, 0] * 10).astype(int), 9)
+    heat = np.zeros((bins, 10))
+    np.add.at(heat, (d_bin, p_bin), 1.0)
+    return heat, (d_min, d_max)
+
+
+@dataclass
+class TrajectoryReport:
+    """Aggregated trajectory diagnostics."""
+
+    action_freq: np.ndarray
+    action_labels: list[str]
+    terminations: dict[str, int]
+    heatmap: np.ndarray
+    distance_range: tuple[float, float]
+    mean_episode_length: float
+
+    def summary(self) -> str:
+        """Readable multi-part report."""
+        rows = [
+            (label, f"{100 * freq:.1f}%")
+            for label, freq in zip(self.action_labels, self.action_freq)
+        ]
+        parts = [
+            render_table(
+                ("action", "frequency"),
+                rows,
+                title="Action usage",
+                align=("l", "r"),
+            ),
+            "",
+            "Terminations: "
+            + ", ".join(
+                f"{k}: {v}" for k, v in sorted(self.terminations.items())
+            ),
+            f"Mean episode length: {self.mean_episode_length:.1f} steps",
+        ]
+        return "\n".join(parts)
+
+
+def analyze_recorder(
+    recorder,
+    history,
+    action_labels: list[str] | None = None,
+) -> TrajectoryReport:
+    """Build a :class:`TrajectoryReport` from a recorder + history pair."""
+    episodes = list(recorder.episodes)
+    if recorder._current:
+        episodes.append(list(recorder._current))
+    n_actions = recorder.n_actions
+    labels = action_labels or [f"a{k}" for k in range(n_actions)]
+    if len(labels) != n_actions:
+        raise ValueError("label count must match the action space")
+    heat, rng = visitation_heatmap(episodes)
+    lengths = [len(ep) for ep in episodes] or [0]
+    return TrajectoryReport(
+        action_freq=action_histogram(episodes, n_actions),
+        action_labels=labels,
+        terminations=termination_breakdown(history),
+        heatmap=heat,
+        distance_range=rng,
+        mean_episode_length=float(np.mean(lengths)),
+    )

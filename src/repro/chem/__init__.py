@@ -1,0 +1,68 @@
+"""Molecular substrate: atoms, molecules, force-field parameters, I/O.
+
+The paper's METADOCK environment operates on a receptor-ligand pair with
+per-atom partial charges, Lennard-Jones parameters and hydrogen-bond
+roles.  This subpackage provides:
+
+- :mod:`repro.chem.elements` -- element data and parameter tables;
+- :mod:`repro.chem.molecule` -- the structure-of-arrays :class:`Molecule`;
+- :mod:`repro.chem.topology` -- bond graphs and rotatable-bond detection;
+- :mod:`repro.chem.transforms` -- rotations, quaternions, rigid moves;
+- :mod:`repro.chem.forcefield` -- MMFF94-flavoured parameter assignment;
+- :mod:`repro.chem.builders` -- deterministic synthetic 2BSM-scale
+  complexes (the substitution for the wwPDB crystal structure);
+- :mod:`repro.chem.pdb` / :mod:`repro.chem.xyz` -- file I/O.
+"""
+
+from repro.chem.elements import Element, ELEMENTS, vdw_parameters
+from repro.chem.molecule import Molecule
+from repro.chem.topology import (
+    bonds_from_distance,
+    connected_components,
+    rotatable_bonds,
+)
+from repro.chem.transforms import (
+    Quaternion,
+    rotation_matrix,
+    axis_angle_matrix,
+    random_rotation,
+    rigid_transform,
+)
+from repro.chem.builders import (
+    build_complex,
+    build_ligand,
+    build_receptor,
+    BuiltComplex,
+)
+from repro.chem.forcefield import assign_parameters
+from repro.chem.conformers import Conformer, generate_conformers
+from repro.chem.descriptors import (
+    Descriptors,
+    compute_descriptors,
+    library_diversity,
+)
+
+__all__ = [
+    "Element",
+    "ELEMENTS",
+    "vdw_parameters",
+    "Molecule",
+    "bonds_from_distance",
+    "connected_components",
+    "rotatable_bonds",
+    "Quaternion",
+    "rotation_matrix",
+    "axis_angle_matrix",
+    "random_rotation",
+    "rigid_transform",
+    "build_complex",
+    "build_ligand",
+    "build_receptor",
+    "BuiltComplex",
+    "assign_parameters",
+    "Conformer",
+    "generate_conformers",
+    "Descriptors",
+    "compute_descriptors",
+    "library_diversity",
+]

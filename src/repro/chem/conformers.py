@@ -1,0 +1,113 @@
+"""Conformer generation: sampled torsion states of a flexible ligand.
+
+Flexible-ligand screening (Section 5) needs internal conformations, not
+just rigid placements.  :func:`generate_conformers` samples torsion
+assignments about the ligand's rotatable bonds, rejects self-clashing
+geometries, and returns centered coordinate sets ready for pose search
+-- the ensemble-docking pattern (dock each conformer rigidly, keep the
+best).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chem.molecule import Molecule
+from repro.chem.topology import rotatable_bonds
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class Conformer:
+    """One internal conformation of a ligand."""
+
+    coords: np.ndarray
+    torsions: tuple[float, ...]
+    #: Smallest non-bonded intra-ligand distance (self-clash indicator).
+    min_nonbonded_distance: float
+
+
+def _min_nonbonded_distance(mol: Molecule, coords: np.ndarray) -> float:
+    """Minimum distance between atom pairs not directly bonded."""
+    n = coords.shape[0]
+    if n < 2:
+        return float("inf")
+    d = np.linalg.norm(coords[:, None] - coords[None, :], axis=-1)
+    excluded = np.eye(n, dtype=bool)
+    for i, j in mol.bonds:
+        excluded[i, j] = excluded[j, i] = True
+    masked = np.where(excluded, np.inf, d)
+    return float(masked.min())
+
+
+def generate_conformers(
+    ligand: Molecule,
+    n_conformers: int,
+    *,
+    max_torsions: int | None = None,
+    clash_distance: float = 0.9,
+    max_attempts_factor: int = 16,
+    rng: SeedLike = None,
+) -> list[Conformer]:
+    """Sample up to ``n_conformers`` self-avoiding torsion states.
+
+    The identity conformation (all torsions zero) is always first.  If a
+    ligand has no rotatable bonds the identity is the only conformer.
+    Raises ``ValueError`` for a non-positive request; returns fewer than
+    requested only when rejection sampling exhausts its attempt budget
+    (heavily strained ligands).
+    """
+    if n_conformers < 1:
+        raise ValueError("n_conformers must be >= 1")
+    gen = as_generator(rng)
+    centered = ligand.coords - ligand.coords.mean(axis=0)
+    bonds = rotatable_bonds(ligand.symbols, ligand.coords, ligand.bonds)
+    if max_torsions is not None:
+        bonds = bonds[:max_torsions]
+    out = [
+        Conformer(
+            coords=centered.copy(),
+            torsions=(0.0,) * len(bonds),
+            min_nonbonded_distance=_min_nonbonded_distance(ligand, centered),
+        )
+    ]
+    if not bonds or n_conformers == 1:
+        return out
+    # Imported lazily: chem is a lower layer than metadock, and the
+    # torsion machinery lives up there (it is pose infrastructure).
+    from repro.metadock.pose import TorsionDriver
+
+    driver = TorsionDriver(ligand.with_coords(centered), bonds)
+    attempts = 0
+    budget = max_attempts_factor * n_conformers
+    while len(out) < n_conformers and attempts < budget:
+        attempts += 1
+        torsions = tuple(gen.uniform(-np.pi, np.pi, size=len(bonds)))
+        coords = driver.apply(centered, torsions)
+        coords = coords - coords.mean(axis=0)
+        dmin = _min_nonbonded_distance(ligand, coords)
+        if dmin < clash_distance:
+            continue
+        out.append(
+            Conformer(
+                coords=coords,
+                torsions=torsions,
+                min_nonbonded_distance=dmin,
+            )
+        )
+    return out
+
+
+def conformer_diversity(conformers: list[Conformer]) -> float:
+    """Mean pairwise coordinate RMSD across the ensemble (0 for singletons)."""
+    if len(conformers) < 2:
+        return 0.0
+    total, count = 0.0, 0
+    for i in range(len(conformers)):
+        for j in range(i + 1, len(conformers)):
+            diff = conformers[i].coords - conformers[j].coords
+            total += float(np.sqrt((diff**2).sum(axis=1).mean()))
+            count += 1
+    return total / count

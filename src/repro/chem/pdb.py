@@ -1,0 +1,232 @@
+"""Minimal PDB reader/writer.
+
+Supports the column-oriented ``ATOM``/``HETATM``/``CONECT`` records needed
+to round-trip our molecules and to ingest real structures (e.g. an actual
+2BSM download) in place of the synthetic complex.  Charges are not part of
+PDB; :func:`repro.chem.forcefield.assign_parameters` fills them in after
+reading.  A PDBQT-style ``read_pdbqt`` variant parses the partial-charge
+column that AutoDock-family tools emit.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+import numpy as np
+
+from repro.chem.forcefield import assign_parameters
+from repro.chem.molecule import Molecule
+
+PathLike = Union[str, Path]
+
+
+def _open_text(source: Union[PathLike, TextIO], mode: str = "r"):
+    if hasattr(source, "read") or hasattr(source, "write"):
+        return source, False
+    return open(source, mode), True
+
+
+def read_pdb(source: Union[PathLike, TextIO], *, assign: bool = True) -> Molecule:
+    """Parse ATOM/HETATM (+ optional CONECT) records into a Molecule.
+
+    ``assign=True`` (default) runs force-field parameter assignment so the
+    result is immediately scoreable.
+    """
+    fh, should_close = _open_text(source)
+    try:
+        symbols: list[str] = []
+        coords: list[tuple[float, float, float]] = []
+        serial_to_index: dict[int, int] = {}
+        bonds: set[tuple[int, int]] = set()
+        name = ""
+        for line in fh:
+            rec = line[:6].strip()
+            if rec == "HEADER" and not name:
+                name = line[62:66].strip() or line[10:50].strip()
+            elif rec in ("ATOM", "HETATM"):
+                try:
+                    serial = int(line[6:11])
+                    x = float(line[30:38])
+                    y = float(line[38:46])
+                    z = float(line[46:54])
+                except ValueError as exc:
+                    raise ValueError(f"malformed PDB atom line: {line!r}") from exc
+                elem = line[76:78].strip()
+                if not elem:
+                    # Fall back to the atom-name column's leading letter(s).
+                    atom_name = line[12:16].strip()
+                    elem = "".join(c for c in atom_name if c.isalpha())[:1]
+                serial_to_index[serial] = len(symbols)
+                symbols.append(elem.upper())
+                coords.append((x, y, z))
+            elif rec == "CONECT":
+                fields = line.split()[1:]
+                if len(fields) >= 2:
+                    base = int(fields[0])
+                    for other in fields[1:]:
+                        a, b = base, int(other)
+                        if a in serial_to_index and b in serial_to_index:
+                            i = serial_to_index[a]
+                            j = serial_to_index[b]
+                            if i != j:
+                                bonds.add((min(i, j), max(i, j)))
+        if not symbols:
+            raise ValueError("no ATOM/HETATM records found")
+        bond_arr = (
+            np.asarray(sorted(bonds), dtype=np.int64)
+            if bonds
+            else np.empty((0, 2), dtype=np.int64)
+        )
+        mol = Molecule.from_symbols(
+            symbols, np.asarray(coords), bonds=bond_arr, name=name
+        )
+        return assign_parameters(mol) if assign else mol
+    finally:
+        if should_close:
+            fh.close()
+
+
+def write_pdb(
+    mol: Molecule, target: Union[PathLike, TextIO], *, hetatm: bool = False
+) -> None:
+    """Write a Molecule as PDB ATOM/HETATM + CONECT records."""
+    fh, should_close = _open_text(target, "w")
+    try:
+        if mol.name:
+            fh.write(f"HEADER    {mol.name[:40]:<40}\n")
+        rec = "HETATM" if hetatm else "ATOM  "
+        for i, (sym, (x, y, z)) in enumerate(
+            zip(mol.symbols, mol.coords), start=1
+        ):
+            atom_name = f"{sym:<3}"[:4]
+            fh.write(
+                f"{rec}{i:>5} {atom_name:<4} MOL A   1    "
+                f"{x:8.3f}{y:8.3f}{z:8.3f}  1.00  0.00          "
+                f"{sym:>2}\n"
+            )
+        for i, j in mol.bonds:
+            fh.write(f"CONECT{i + 1:>5}{j + 1:>5}\n")
+        fh.write("END\n")
+    finally:
+        if should_close:
+            fh.close()
+
+
+def read_pdbqt(source: Union[PathLike, TextIO]) -> Molecule:
+    """Parse a PDBQT file (AutoDock family), keeping the charge column.
+
+    PDBQT stores the Gasteiger partial charge in columns 71-76 and the
+    AutoDock atom type in 78-79; we map the type's leading element letters
+    to our element table.
+    """
+    fh, should_close = _open_text(source)
+    try:
+        symbols: list[str] = []
+        coords: list[tuple[float, float, float]] = []
+        charges: list[float] = []
+        for line in fh:
+            rec = line[:6].strip()
+            if rec in ("ATOM", "HETATM"):
+                x = float(line[30:38])
+                y = float(line[38:46])
+                z = float(line[46:54])
+                q = float(line[70:76])
+                adtype = line[77:79].strip()
+                elem = "".join(c for c in adtype if c.isalpha())
+                if elem.upper() in ("A",):  # aromatic carbon type
+                    elem = "C"
+                if elem.upper() in ("OA", "NA", "SA"):
+                    elem = elem[0]
+                symbols.append(elem.upper())
+                coords.append((x, y, z))
+                charges.append(q)
+        if not symbols:
+            raise ValueError("no ATOM/HETATM records found")
+        mol = Molecule.from_symbols(symbols, np.asarray(coords))
+        mol.charges = np.asarray(charges, dtype=float)
+        return mol
+    finally:
+        if should_close:
+            fh.close()
+
+
+def write_pdb_trajectory(
+    frames: "list[np.ndarray]",
+    template: Molecule,
+    target: Union[PathLike, TextIO],
+    *,
+    hetatm: bool = False,
+) -> None:
+    """Write a multi-MODEL PDB trajectory (one MODEL per coordinate set).
+
+    Standard molecular viewers animate MODEL records, so a docking
+    episode recorded by the engine can be inspected visually.  All
+    frames must match the template's atom count.
+    """
+    fh, should_close = _open_text(target, "w")
+    try:
+        if template.name:
+            fh.write(f"HEADER    {template.name[:40]:<40}\n")
+        rec = "HETATM" if hetatm else "ATOM  "
+        for m, coords in enumerate(frames, start=1):
+            pts = np.asarray(coords, dtype=float)
+            if pts.shape != (template.n_atoms, 3):
+                raise ValueError(
+                    f"frame {m} has shape {pts.shape}, expected "
+                    f"({template.n_atoms}, 3)"
+                )
+            fh.write(f"MODEL     {m:>4}\n")
+            for i, (sym, (x, y, z)) in enumerate(
+                zip(template.symbols, pts), start=1
+            ):
+                atom_name = f"{sym:<3}"[:4]
+                fh.write(
+                    f"{rec}{i:>5} {atom_name:<4} MOL A   1    "
+                    f"{x:8.3f}{y:8.3f}{z:8.3f}  1.00  0.00          "
+                    f"{sym:>2}\n"
+                )
+            fh.write("ENDMDL\n")
+        fh.write("END\n")
+    finally:
+        if should_close:
+            fh.close()
+
+
+def read_pdb_models(source: Union[PathLike, TextIO]) -> list[np.ndarray]:
+    """Read the coordinate frames of a multi-MODEL PDB trajectory."""
+    fh, should_close = _open_text(source)
+    try:
+        frames: list[np.ndarray] = []
+        current: list[tuple[float, float, float]] = []
+        in_model = False
+        for line in fh:
+            rec = line[:6].strip()
+            if rec == "MODEL":
+                in_model = True
+                current = []
+            elif rec == "ENDMDL":
+                frames.append(np.asarray(current))
+                in_model = False
+            elif rec in ("ATOM", "HETATM") and in_model:
+                current.append(
+                    (
+                        float(line[30:38]),
+                        float(line[38:46]),
+                        float(line[46:54]),
+                    )
+                )
+        if not frames:
+            raise ValueError("no MODEL records found")
+        return frames
+    finally:
+        if should_close:
+            fh.close()
+
+
+def to_pdb_string(mol: Molecule) -> str:
+    """Render a molecule to a PDB-format string (round-trips read_pdb)."""
+    buf = io.StringIO()
+    write_pdb(mol, buf)
+    return buf.getvalue()

@@ -1,0 +1,78 @@
+"""XYZ file format support (simple coordinate exchange).
+
+XYZ carries only element symbols and coordinates; bonds and charges are
+re-derived on read via :mod:`repro.chem.topology` and
+:mod:`repro.chem.forcefield`.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+import numpy as np
+
+from repro.chem.forcefield import assign_parameters
+from repro.chem.molecule import Molecule
+from repro.chem.topology import bonds_from_distance
+
+PathLike = Union[str, Path]
+
+
+def read_xyz(
+    source: Union[PathLike, TextIO],
+    *,
+    perceive_bonds: bool = True,
+    assign: bool = True,
+) -> Molecule:
+    """Read a single-frame XYZ file."""
+    if hasattr(source, "read"):
+        text = source.read()
+    else:
+        text = Path(source).read_text()
+    lines = text.splitlines()
+    if not lines:
+        raise ValueError("empty XYZ input")
+    try:
+        n = int(lines[0].split()[0])
+    except (ValueError, IndexError) as exc:
+        raise ValueError("first XYZ line must be the atom count") from exc
+    if len(lines) < n + 2:
+        raise ValueError(f"expected {n} atom lines, file has {len(lines) - 2}")
+    name = lines[1].strip()
+    symbols: list[str] = []
+    coords = np.empty((n, 3), dtype=float)
+    for k in range(n):
+        fields = lines[2 + k].split()
+        if len(fields) < 4:
+            raise ValueError(f"malformed XYZ atom line: {lines[2 + k]!r}")
+        symbols.append(fields[0].upper())
+        coords[k] = [float(fields[1]), float(fields[2]), float(fields[3])]
+    bonds = (
+        bonds_from_distance(symbols, coords)
+        if perceive_bonds
+        else np.empty((0, 2), dtype=np.int64)
+    )
+    mol = Molecule.from_symbols(symbols, coords, bonds=bonds, name=name)
+    return assign_parameters(mol) if assign else mol
+
+
+def write_xyz(mol: Molecule, target: Union[PathLike, TextIO]) -> None:
+    """Write a Molecule to XYZ."""
+    buf = io.StringIO()
+    buf.write(f"{mol.n_atoms}\n{mol.name}\n")
+    for sym, (x, y, z) in zip(mol.symbols, mol.coords):
+        buf.write(f"{sym:<2} {x:15.8f} {y:15.8f} {z:15.8f}\n")
+    text = buf.getvalue()
+    if hasattr(target, "write"):
+        target.write(text)
+    else:
+        Path(target).write_text(text)
+
+
+def to_xyz_string(mol: Molecule) -> str:
+    """Render to an XYZ-format string."""
+    buf = io.StringIO()
+    write_xyz(mol, buf)
+    return buf.getvalue()

@@ -1,0 +1,299 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+One subcommand per experiment/driver so every paper artefact is
+reproducible without writing Python:
+
+- ``table1``        -- print the hyperparameter table (Table 1);
+- ``geometry``      -- build + validate the synthetic complex (Figs 1/3);
+- ``figure4``       -- train DQN-Docking and print the training curve;
+- ``baselines``     -- DQN vs Monte Carlo vs metaheuristics (Section 4);
+- ``comm-ablation`` -- RAM vs file engine<->agent channel (limitation 1);
+- ``screen``        -- virtual-screen a synthetic ligand library;
+- ``blind``         -- blind docking over receptor surface spots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.config import ci_scale_config
+from repro.version import __version__
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--seed", type=int, default=0, help="master seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DQN-Docking reproduction (ICPP 2018)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="print the Table 1 hyperparameters")
+
+    p = sub.add_parser("geometry", help="build and report the complex")
+    _add_common(p)
+    p.add_argument("--receptor-atoms", type=int, default=300)
+    p.add_argument("--ligand-atoms", type=int, default=14)
+
+    p = sub.add_parser("figure4", help="train and plot the Figure 4 curve")
+    _add_common(p)
+    p.add_argument("--episodes", type=int, default=60)
+    p.add_argument("--max-steps", type=int, default=60)
+    p.add_argument(
+        "--variant",
+        default="dqn",
+        choices=[
+            "dqn", "ddqn", "dueling", "dueling-ddqn",
+            "distributional", "rainbow",
+        ],
+    )
+    p.add_argument("--learning-rate", type=float, default=0.002)
+
+    p = sub.add_parser("baselines", help="DQN vs MC vs metaheuristics")
+    _add_common(p)
+    p.add_argument("--budget", type=int, default=1200)
+
+    p = sub.add_parser("comm-ablation", help="RAM vs file channel timing")
+    _add_common(p)
+    p.add_argument("--steps", type=int, default=200)
+
+    p = sub.add_parser("screen", help="virtual-screen a ligand library")
+    _add_common(p)
+    p.add_argument("--ligands", type=int, default=6)
+    p.add_argument("--budget", type=int, default=200)
+    p.add_argument(
+        "--strategy",
+        default="scatter",
+        choices=["ga", "local", "random", "scatter", "montecarlo"],
+    )
+
+    p = sub.add_parser("blind", help="blind docking over surface spots")
+    _add_common(p)
+    p.add_argument("--spots", type=int, default=12)
+    p.add_argument("--budget", type=int, default=200)
+    p.add_argument("--workers", type=int, default=None)
+
+    p = sub.add_parser(
+        "report", help="run the full suite and emit EXPERIMENTS.md content"
+    )
+    p.add_argument("--full", action="store_true", help="larger budgets")
+    p.add_argument("--output", default=None, help="write to file")
+
+    p = sub.add_parser(
+        "reward-ablation", help="compare reward schemes (Section 3 design)"
+    )
+    _add_common(p)
+    p.add_argument("--episodes", type=int, default=25)
+    p.add_argument(
+        "--schemes",
+        nargs="+",
+        default=["sign", "clipped", "scaled", "potential"],
+        choices=["sign", "clipped", "scaled", "potential"],
+    )
+
+    p = sub.add_parser(
+        "sweep", help="sweep one config knob (e.g. target_update_steps)"
+    )
+    _add_common(p)
+    p.add_argument("parameter", help="DQNDockingConfig field to sweep")
+    p.add_argument(
+        "values", nargs="+", help="values (parsed as float/int when numeric)"
+    )
+    p.add_argument("--episodes", type=int, default=15)
+    return parser
+
+
+def _cmd_table1(_args) -> int:
+    from repro.experiments.table1 import render_table1, verify_paper_defaults
+
+    print(render_table1())
+    problems = verify_paper_defaults()
+    if problems:  # pragma: no cover - defaults are tested to match
+        print("\nWARNING: defaults deviate from the paper:")
+        for line in problems:
+            print("  " + line)
+        return 1
+    print("\nAll defaults match the published Table 1.")
+    return 0
+
+
+def _cmd_geometry(args) -> int:
+    from repro.config import ComplexConfig
+    from repro.experiments.geometry import run_geometry_experiment
+
+    cfg = ComplexConfig(
+        receptor_atoms=args.receptor_atoms,
+        ligand_atoms=args.ligand_atoms,
+        receptor_radius=max(9.0, args.receptor_atoms ** (1 / 3) * 1.65),
+        pocket_depth=4.0,
+        initial_offset=8.0,
+        rotatable_bonds=2,
+        seed=args.seed + 2018,
+    )
+    report = run_geometry_experiment(cfg)
+    print(report.summary())
+    return 0 if (report.pocket_is_optimum and report.overlap_is_catastrophic) else 1
+
+
+def _cmd_figure4(args) -> int:
+    from repro.experiments.figure4 import run_figure4_experiment
+
+    cfg = ci_scale_config(
+        episodes=args.episodes,
+        seed=args.seed,
+        max_steps=args.max_steps,
+        learning_rate=args.learning_rate,
+        variant=args.variant,
+    )
+    result = run_figure4_experiment(cfg)
+    print(result.summary())
+    return 0
+
+
+def _cmd_baselines(args) -> int:
+    from repro.experiments.baselines import run_baseline_comparison
+
+    cfg = ci_scale_config(episodes=40, seed=args.seed, learning_rate=0.002)
+    comp = run_baseline_comparison(cfg, budget=args.budget)
+    print(comp.summary())
+    return 0
+
+
+def _cmd_comm_ablation(args) -> int:
+    from repro.experiments.ablations import run_comm_ablation
+
+    cfg = ci_scale_config(episodes=4, seed=args.seed)
+    print(run_comm_ablation(cfg, steps=args.steps).summary())
+    return 0
+
+
+def _cmd_screen(args) -> int:
+    from repro.chem.builders import build_complex
+    from repro.metadock.library import generate_library
+    from repro.metadock.screening import screen_library
+    from repro.utils.tables import render_table
+
+    cfg = ci_scale_config(episodes=1, seed=args.seed).complex
+    built = build_complex(cfg)
+    library = generate_library(cfg, args.ligands, seed=args.seed)
+    hits = screen_library(
+        built,
+        library,
+        strategy=args.strategy,
+        budget=args.budget,
+        seed=args.seed,
+    )
+    rows = [
+        (k + 1, h.compound_id, h.n_atoms, f"{h.best_score:.2f}")
+        for k, h in enumerate(hits)
+    ]
+    print(
+        render_table(
+            ["rank", "compound", "atoms", "best score"],
+            rows,
+            title=f"Virtual screening ({args.strategy})",
+            align=["r", "l", "r", "r"],
+        )
+    )
+    return 0
+
+
+def _cmd_blind(args) -> int:
+    from repro.chem.builders import build_complex
+    from repro.metadock.blind import blind_dock
+
+    cfg = ci_scale_config(episodes=1, seed=args.seed).complex
+    built = build_complex(cfg)
+    result = blind_dock(
+        built,
+        n_spots=args.spots,
+        budget_per_spot=args.budget,
+        seed=args.seed,
+        n_workers=args.workers,
+    )
+    print(result.summary())
+    print(
+        f"\nbest site is {result.best.pocket_distance:.1f} A from the "
+        f"true pocket center"
+    )
+    return 0
+
+
+def _cmd_reward_ablation(args) -> int:
+    from repro.experiments.reward_ablation import run_reward_ablation
+
+    cfg = ci_scale_config(
+        episodes=args.episodes, seed=args.seed, learning_rate=0.002
+    )
+    result = run_reward_ablation(cfg, schemes=tuple(args.schemes))
+    print(result.summary())
+    return 0
+
+
+def _parse_value(text: str):
+    """CLI sweep values: int if possible, else float, else string."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _cmd_sweep(args) -> int:
+    from repro.experiments.sweep import run_sweep
+
+    cfg = ci_scale_config(
+        episodes=args.episodes, seed=args.seed, learning_rate=0.002
+    )
+    values = [_parse_value(v) for v in args.values]
+    result = run_sweep(cfg, args.parameter, values)
+    print(result.summary())
+    print(f"\nbest setting: {args.parameter} = {result.best_setting()}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.reporting import generate_report
+
+    text = generate_report(quick=not args.full)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "geometry": _cmd_geometry,
+    "figure4": _cmd_figure4,
+    "baselines": _cmd_baselines,
+    "comm-ablation": _cmd_comm_ablation,
+    "screen": _cmd_screen,
+    "blind": _cmd_blind,
+    "report": _cmd_report,
+    "reward-ablation": _cmd_reward_ablation,
+    "sweep": _cmd_sweep,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

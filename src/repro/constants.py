@@ -1,0 +1,31 @@
+"""Physical constants and score-scale conventions.
+
+Units follow common docking practice: distances in angstroms, charges in
+elementary charges, energies in kcal/mol.  The Coulomb constant below is
+the standard 332.06 kcal*A/(mol*e^2) used by AMBER-family force fields,
+matching the electrostatic term of the paper's Equation 1.
+"""
+
+from __future__ import annotations
+
+#: Coulomb constant k in kcal*angstrom / (mol * e^2).
+COULOMB_CONSTANT: float = 332.0637
+
+#: Minimum inter-atomic distance (angstrom) used to regularize 1/r terms.
+#: METADOCK-style scorers clamp distances so overlapping atoms produce a
+#: huge-but-finite steric penalty rather than an inf/nan.
+MIN_DISTANCE: float = 0.05
+
+#: Default scoring cutoff (angstrom) beyond which pair interactions are
+#: treated as zero by the neighbor-list accelerated paths.
+DEFAULT_CUTOFF: float = 12.0
+
+#: The paper's empirical low-score episode-termination threshold.
+LOW_SCORE_THRESHOLD: float = -100000.0
+
+#: Dielectric constant of the implicit medium (1.0 = vacuum; distance-
+#: dependent dielectrics multiply r into this).
+DIELECTRIC: float = 1.0
+
+#: Angstroms per nanometer -- the paper quotes the shift step in nm.
+ANGSTROM_PER_NM: float = 10.0

@@ -1,0 +1,49 @@
+"""The DQN-Docking environment (paper Section 3).
+
+:class:`DockingEnv` turns the :class:`~repro.metadock.engine.
+MetadockEngine` into an MDP by adding what METADOCK lacks -- the "game
+rules":
+
+- the reward transformation (sign of the score change, clipped to
+  {-1, 0, +1});
+- the escape rule (ligand drifts beyond 4/3 of the initial
+  center-of-mass distance);
+- the deep-penetration rule (20 consecutive scores below -100,000).
+
+:mod:`repro.env.comm` reproduces the paper's two engine<->agent
+communication layers: the on-disk file exchange the authors used (their
+limitation #1) and the RAM-based replacement they propose.
+"""
+
+from repro.env.spaces import Box, Discrete
+from repro.env.comm import RamComm, FileComm, make_comm
+from repro.env.docking_env import DockingEnv, make_env
+from repro.env.flexible_env import FlexibleDockingEnv
+from repro.env.wrappers import (
+    TimeLimit,
+    StateNormalizer,
+    RewardScale,
+    EpisodeRecorder,
+    ActionRepeat,
+)
+from repro.env.image_state import ImageStateEnv, render_projections
+from repro.env.vectorized import SyncVectorEnv
+
+__all__ = [
+    "Box",
+    "Discrete",
+    "RamComm",
+    "FileComm",
+    "make_comm",
+    "DockingEnv",
+    "make_env",
+    "FlexibleDockingEnv",
+    "TimeLimit",
+    "StateNormalizer",
+    "RewardScale",
+    "EpisodeRecorder",
+    "ActionRepeat",
+    "ImageStateEnv",
+    "render_projections",
+    "SyncVectorEnv",
+]

@@ -1,0 +1,97 @@
+"""Engine<->agent communication layers.
+
+The paper's Section 5 names its first limitation: "the communication
+between the algorithm and METADOCK entails to write two separate files in
+disk with the new state and the score respectively and then DQN-Docking
+reads those files".  We implement exactly that (:class:`FileComm`) and
+the proposed in-memory replacement (:class:`RamComm`) behind one
+interface, so the ablation bench can quantify the cost the authors paid.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from abc import ABC, abstractmethod
+from pathlib import Path
+
+import numpy as np
+
+
+class CommChannel(ABC):
+    """One state+score round trip between engine and agent."""
+
+    @abstractmethod
+    def exchange(self, state: np.ndarray, score: float) -> tuple[np.ndarray, float]:
+        """Deliver (state, score) from the engine to the agent."""
+
+    def close(self) -> None:
+        """Release any resources (default: none)."""
+
+    def __enter__(self) -> "CommChannel":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class RamComm(CommChannel):
+    """Direct in-memory hand-off (the paper's proposed fix)."""
+
+    def exchange(self, state: np.ndarray, score: float) -> tuple[np.ndarray, float]:
+        return state, score
+
+
+class FileComm(CommChannel):
+    """Faithful reproduction of the paper's on-disk exchange.
+
+    Two files per step: the state vector (binary ``.npy``) and the score
+    (text), written by the "engine side" then read back by the "agent
+    side".  ``fsync=True`` additionally forces the data to the device,
+    modelling the worst case.
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None, *, fsync: bool = False):
+        if directory is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="dqn-docking-comm-")
+            self.directory = Path(self._tmp.name)
+        else:
+            self._tmp = None
+            self.directory = Path(directory)
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = bool(fsync)
+        self.state_path = self.directory / "state.npy"
+        self.score_path = self.directory / "score.txt"
+        self.round_trips = 0
+
+    def exchange(self, state: np.ndarray, score: float) -> tuple[np.ndarray, float]:
+        # Engine side: write both files.
+        with open(self.state_path, "wb") as fh:
+            np.save(fh, np.asarray(state, dtype=np.float64))
+            if self.fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
+        with open(self.score_path, "w") as fh:
+            fh.write(repr(float(score)))
+            if self.fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
+        # Agent side: read both files back.
+        state_back = np.load(self.state_path)
+        score_back = float(self.score_path.read_text())
+        self.round_trips += 1
+        return state_back, score_back
+
+    def close(self) -> None:
+        if self._tmp is not None:
+            self._tmp.cleanup()
+            self._tmp = None
+
+
+def make_comm(mode: str, **kwargs) -> CommChannel:
+    """Factory keyed by config string ("ram" or "file")."""
+    if mode == "ram":
+        return RamComm()
+    if mode == "file":
+        return FileComm(**kwargs)
+    raise ValueError(f"unknown comm mode {mode!r}")

@@ -1,0 +1,185 @@
+""":class:`DockingEnv` -- the MDP of paper Section 3.
+
+Reward (Section 3, verbatim rules):
+
+1. the raw quantity is the *change* in METADOCK's score, not the score;
+2. clipped to [-1, 1];
+3. positive -> +1, negative -> -1, unchanged -> 0.
+
+Net effect: ``reward = sign(score_t+1 - score_t)``.
+
+Termination (the added "game rules"):
+
+- **escape** -- ligand center of mass farther than ``escape_factor``
+  (4/3) times the initial receptor-ligand COM distance;
+- **deep-penetration** -- ``low_score_patience`` (20) consecutive steps
+  with score below ``low_score_threshold`` (-100,000);
+- the T-step cap is the trainer's job (or the TimeLimit wrapper's).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.chem.builders import BuiltComplex, build_complex
+from repro.config import DQNDockingConfig
+from repro.env.comm import CommChannel, RamComm, make_comm
+from repro.env.spaces import Box, Discrete
+from repro.metadock.engine import MetadockEngine
+from repro.metadock.pose import Pose
+
+
+class DockingEnv:
+    """Gym-flavoured environment over a :class:`MetadockEngine`."""
+
+    def __init__(
+        self,
+        engine: MetadockEngine,
+        *,
+        escape_factor: float = 4.0 / 3.0,
+        low_score_patience: int = 20,
+        low_score_threshold: float = -100000.0,
+        comm: CommChannel | None = None,
+        randomize_reset: bool = False,
+        reset_rng=None,
+    ):
+        if escape_factor <= 1.0:
+            raise ValueError("escape_factor must exceed 1.0")
+        if low_score_patience < 1:
+            raise ValueError("low_score_patience must be >= 1")
+        self.engine = engine
+        self.escape_factor = float(escape_factor)
+        self.low_score_patience = int(low_score_patience)
+        self.low_score_threshold = float(low_score_threshold)
+        self.comm = comm or RamComm()
+        self.randomize_reset = bool(randomize_reset)
+        self._reset_rng = reset_rng
+
+        self.action_space = Discrete(engine.n_actions)
+        self.observation_space = Box(
+            -math.inf, math.inf, (engine.state_dim(),)
+        )
+        self._escape_radius = self.escape_factor * engine.initial_com_distance()
+        self._last_score: float = float("nan")
+        self._low_score_streak = 0
+        self.episode_steps = 0
+        self.total_steps = 0
+
+    # -- protocol ------------------------------------------------------------
+    def reset(self) -> np.ndarray:
+        """Reset the ligand to the initial pose; returns the state."""
+        pose: Pose | None = None
+        if self.randomize_reset and self._reset_rng is not None:
+            # Jitter the start slightly: keeps the start distribution
+            # near Figure 3 position (A) while decorrelating episodes.
+            jitter = self._reset_rng.normal(scale=0.5, size=3)
+            obs = self.engine.reset()
+            pose = obs.pose.translated(jitter)
+        obs = self.engine.reset(pose)
+        state, score = self.comm.exchange(obs.state, obs.score)
+        self._last_score = score
+        self._low_score_streak = 0
+        self.episode_steps = 0
+        return state
+
+    def step(self, action: int) -> tuple[np.ndarray, float, bool, dict[str, Any]]:
+        """Apply one discrete action; returns (state, reward, done, info)."""
+        if not self.action_space.contains(action):
+            raise ValueError(
+                f"invalid action {action!r} for {self.action_space}"
+            )
+        if math.isnan(self._last_score):
+            raise RuntimeError("step() called before reset()")
+        self.engine.apply_action(int(action))
+        obs = self.engine.observe()
+        state, score = self.comm.exchange(obs.state, obs.score)
+
+        # Paper reward rules: sign of the clipped score change.
+        delta = score - self._last_score
+        reward = float(np.sign(delta))
+        self._last_score = score
+
+        done = False
+        termination = ""
+        com_d = self.engine.com_distance()
+        if com_d > self._escape_radius:
+            done = True
+            termination = "escape"
+        if score < self.low_score_threshold:
+            self._low_score_streak += 1
+            if self._low_score_streak >= self.low_score_patience:
+                done = True
+                termination = termination or "deep-penetration"
+        else:
+            self._low_score_streak = 0
+
+        self.episode_steps += 1
+        self.total_steps += 1
+        info: dict[str, Any] = {
+            "score": score,
+            "score_delta": delta,
+            "com_distance": com_d,
+            "escape_radius": self._escape_radius,
+            "low_score_streak": self._low_score_streak,
+            "crystal_rmsd": self.engine.crystal_rmsd(),
+        }
+        if termination:
+            info["termination"] = termination
+        return state, reward, done, info
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def escape_radius(self) -> float:
+        """Episode-terminating COM distance (4/3 x initial by default)."""
+        return self._escape_radius
+
+    @property
+    def state_dim(self) -> int:
+        """State-vector length."""
+        return self.observation_space.shape[0]
+
+    @property
+    def n_actions(self) -> int:
+        """Action count."""
+        return self.action_space.n
+
+    def current_score(self) -> float:
+        """Score of the current pose (engine truth, bypasses comm)."""
+        return self.engine.score()
+
+    def close(self) -> None:
+        """Release the comm channel."""
+        self.comm.close()
+
+
+def make_env(
+    cfg: DQNDockingConfig,
+    built: BuiltComplex | None = None,
+    *,
+    comm: CommChannel | None = None,
+) -> DockingEnv:
+    """Build the full stack (complex -> engine -> env) from a run config.
+
+    ``built`` lets callers reuse an already-constructed complex (the
+    expensive part at paper scale).
+    """
+    if built is None:
+        built = build_complex(cfg.complex)
+    engine = MetadockEngine(
+        built,
+        shift_length=cfg.shift_length,
+        rotation_angle_deg=cfg.rotation_angle_deg,
+        n_torsions=cfg.complex.rotatable_bonds if cfg.flexible_ligand else 0,
+    )
+    if comm is None:
+        comm = make_comm(cfg.comm_mode)
+    return DockingEnv(
+        engine,
+        escape_factor=cfg.escape_factor,
+        low_score_patience=cfg.low_score_patience,
+        low_score_threshold=cfg.low_score_threshold,
+        comm=comm,
+    )

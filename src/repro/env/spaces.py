@@ -1,0 +1,58 @@
+"""Minimal gym-style space descriptions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class Discrete:
+    """``{0, 1, ..., n-1}``."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("n must be >= 1")
+
+    def contains(self, x) -> bool:
+        """Membership check."""
+        try:
+            xi = int(x)
+        except (TypeError, ValueError):
+            return False
+        return 0 <= xi < self.n and float(x) == xi
+
+    def sample(self, rng: SeedLike = None) -> int:
+        """Uniform draw."""
+        return int(as_generator(rng).integers(self.n))
+
+
+@dataclass(frozen=True)
+class Box:
+    """An axis-aligned box in R^shape (possibly unbounded)."""
+
+    low: float
+    high: float
+    shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ValueError("need low <= high")
+
+    def contains(self, x) -> bool:
+        """Membership check (shape and bounds)."""
+        arr = np.asarray(x, dtype=float)
+        return arr.shape == self.shape and bool(
+            ((arr >= self.low) & (arr <= self.high)).all()
+        )
+
+    def sample(self, rng: SeedLike = None) -> np.ndarray:
+        """Uniform draw (requires finite bounds)."""
+        if not (np.isfinite(self.low) and np.isfinite(self.high)):
+            raise ValueError("cannot sample from an unbounded Box")
+        return as_generator(rng).uniform(self.low, self.high, size=self.shape)

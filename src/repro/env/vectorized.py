@@ -1,0 +1,81 @@
+"""Synchronous vectorized environments: batch the agent's forward pass.
+
+The paper's Algorithm 2 steps one environment at a time, so the
+Q-network runs on single states -- wasteful on any vector hardware.
+:class:`SyncVectorEnv` steps N independent environment instances in
+lockstep and auto-resets finished ones, letting the agent evaluate all N
+states in one batched forward (see
+:class:`repro.rl.vector_trainer.VectorTrainer`).  With N complexes of
+different seeds this doubles as a multi-complex curriculum -- the
+training-side half of the generalization story.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+
+class SyncVectorEnv:
+    """Lockstep wrapper over N gym-flavoured environments.
+
+    All environments must share state dimensionality and action count.
+    ``step`` consumes one action per env and returns stacked arrays;
+    environments that finish are reset immediately and their *fresh*
+    state is returned (the terminal transition's true next-state is
+    surfaced in ``infos[i]["terminal_state"]`` so replay stores the
+    correct tuple).
+    """
+
+    def __init__(self, env_fns: Sequence[Callable[[], Any]]):
+        if not env_fns:
+            raise ValueError("need at least one environment")
+        self.envs = [fn() for fn in env_fns]
+        dims = {e.state_dim for e in self.envs}
+        acts = {e.n_actions for e in self.envs}
+        if len(dims) != 1 or len(acts) != 1:
+            raise ValueError(
+                f"environments disagree: state dims {dims}, actions {acts}"
+            )
+        self.state_dim = dims.pop()
+        self.n_actions = acts.pop()
+
+    @property
+    def n_envs(self) -> int:
+        """Number of wrapped environments."""
+        return len(self.envs)
+
+    def reset(self) -> np.ndarray:
+        """Reset every env; returns (n_envs, state_dim)."""
+        return np.stack([e.reset() for e in self.envs])
+
+    def step(
+        self, actions: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, list[dict]]:
+        """Step all envs; returns (states, rewards, dones, infos)."""
+        if len(actions) != self.n_envs:
+            raise ValueError(
+                f"expected {self.n_envs} actions, got {len(actions)}"
+            )
+        states = np.empty((self.n_envs, self.state_dim))
+        rewards = np.empty(self.n_envs)
+        dones = np.zeros(self.n_envs, dtype=bool)
+        infos: list[dict] = []
+        for i, (env, action) in enumerate(zip(self.envs, actions)):
+            state, reward, done, info = env.step(int(action))
+            if done:
+                info = dict(info, terminal_state=state)
+                state = env.reset()
+            states[i] = state
+            rewards[i] = reward
+            dones[i] = done
+            infos.append(info)
+        return states, rewards, dones, infos
+
+    def close(self) -> None:
+        """Close every wrapped environment (ignoring missing close)."""
+        for e in self.envs:
+            close = getattr(e, "close", None)
+            if close is not None:
+                close()

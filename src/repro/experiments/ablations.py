@@ -1,0 +1,112 @@
+"""Ablations over the paper's design choices and future-work variants.
+
+Two families:
+
+- :func:`run_comm_ablation` -- RAM vs file engine<->agent communication
+  (the paper's limitation #1): steps/sec with each channel;
+- :func:`run_variant_ablation` -- DQN vs DDQN vs dueling vs
+  distributional (Section 5's list), trained identically and compared on
+  final performance and curve shape.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chem.builders import build_complex
+from repro.config import DQNDockingConfig
+from repro.env.comm import FileComm, RamComm
+from repro.env.docking_env import make_env
+from repro.experiments.figure4 import (
+    Figure4Result,
+    run_figure4_experiment,
+)
+from repro.utils.tables import render_table
+
+
+@dataclass
+class AblationResult:
+    """Named measurements with a tabular summary."""
+
+    title: str
+    rows: list[tuple] = field(default_factory=list)
+    headers: tuple = ()
+
+    def summary(self) -> str:
+        """Render as a table."""
+        return render_table(self.headers, self.rows, title=self.title)
+
+
+def run_comm_ablation(
+    cfg: DQNDockingConfig, *, steps: int = 300
+) -> AblationResult:
+    """Measure environment steps/sec with RAM vs file communication.
+
+    Uses a fixed random action sequence on identical environments so the
+    only difference is the channel.  ``fsync`` mode is included to bound
+    the worst case.
+    """
+    built = build_complex(cfg.complex)
+    rng = np.random.default_rng(cfg.seed)
+    rows = []
+    for label, comm_factory in (
+        ("ram", RamComm),
+        ("file", lambda: FileComm()),
+        ("file+fsync", lambda: FileComm(fsync=True)),
+    ):
+        env = make_env(cfg, built, comm=comm_factory())
+        try:
+            env.reset()
+            actions = rng.integers(0, env.n_actions, size=steps)
+            t0 = time.perf_counter()
+            for a in actions:
+                _s, _r, done, _info = env.step(int(a))
+                if done:
+                    env.reset()
+            elapsed = time.perf_counter() - t0
+        finally:
+            env.close()
+        rows.append(
+            (label, f"{steps / elapsed:10.1f}", f"{1e3 * elapsed / steps:8.3f}")
+        )
+    return AblationResult(
+        title="Comm-layer ablation (paper limitation #1)",
+        headers=("channel", "steps/sec", "ms/step"),
+        rows=rows,
+    )
+
+
+def run_variant_ablation(
+    cfg: DQNDockingConfig,
+    variants: tuple[str, ...] = ("dqn", "ddqn", "dueling", "dueling-ddqn"),
+) -> tuple[AblationResult, dict[str, Figure4Result]]:
+    """Train each algorithmic variant with identical settings.
+
+    Returns the comparison table and the per-variant results (so callers
+    can inspect curves).  Variants see identical seeds, environments and
+    budgets; differences are purely algorithmic.
+    """
+    rows = []
+    details: dict[str, Figure4Result] = {}
+    for variant in variants:
+        result = run_figure4_experiment(cfg.replace(variant=variant))
+        details[variant] = result
+        shape = result.shape()
+        rows.append(
+            (
+                variant,
+                f"{result.history.best_score:.2f}",
+                f"{shape.peak:.3f}",
+                f"{shape.last:.3f}",
+                "yes" if shape.paper_shape else "no",
+            )
+        )
+    table = AblationResult(
+        title="Algorithm-variant ablation (Section 5 future work)",
+        headers=("variant", "best score", "peak avg-max-Q", "final avg-max-Q", "rise+decline"),
+        rows=rows,
+    )
+    return table, details

@@ -1,0 +1,140 @@
+"""Figure 4: the training curve of average max predicted Q per episode.
+
+The paper trains 1,800 episodes on 2BSM and reports that the average
+maximum predicted Q rises to ~35,000 around episode 500, then declines to
+~27,000 by episode 1,800 -- non-convergence.  The absolute magnitudes are
+artefacts of unnormalized raw-coordinate inputs; the reproducible
+content is the *shape*: rise from the start of learning to an interior
+peak, then decline.  :func:`curve_shape_metrics` quantifies exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import DQNDockingConfig
+from repro.env.docking_env import make_env
+from repro.rl.agent import AgentConfig, DQNAgent
+from repro.rl.distributional import DistributionalDQNAgent
+from repro.rl.trainer import Trainer, TrainingHistory
+
+
+@dataclass(frozen=True)
+class CurveShape:
+    """Shape descriptors of a training curve."""
+
+    first: float
+    peak: float
+    last: float
+    peak_index: int
+    n_points: int
+
+    @property
+    def rose(self) -> bool:
+        """Did the curve rise meaningfully above its start?"""
+        span = abs(self.peak - self.first)
+        return self.peak > self.first and span > 1e-9
+
+    @property
+    def declined_after_peak(self) -> bool:
+        """Did it come back down after the peak (non-convergence)?"""
+        return self.last < self.peak
+
+    @property
+    def peak_interior(self) -> bool:
+        """Is the peak strictly inside the run (not at either end)?"""
+        return 0 < self.peak_index < self.n_points - 1
+
+    @property
+    def paper_shape(self) -> bool:
+        """The Figure 4 signature: rise -> interior peak -> decline."""
+        return self.rose and self.declined_after_peak and self.peak_interior
+
+
+def curve_shape_metrics(series: np.ndarray, smooth: int = 5) -> CurveShape:
+    """Shape metrics of a (possibly noisy) curve after box smoothing."""
+    arr = np.asarray(series, dtype=float)
+    if arr.size == 0:
+        return CurveShape(0.0, 0.0, 0.0, 0, 0)
+    if smooth > 1 and arr.size >= smooth:
+        kernel = np.ones(smooth) / smooth
+        arr = np.convolve(arr, kernel, mode="valid")
+    peak_idx = int(np.argmax(arr))
+    return CurveShape(
+        first=float(arr[0]),
+        peak=float(arr[peak_idx]),
+        last=float(arr[-1]),
+        peak_index=peak_idx,
+        n_points=int(arr.size),
+    )
+
+
+@dataclass
+class Figure4Result:
+    """Everything the Figure 4 reproduction produces."""
+
+    config: DQNDockingConfig
+    history: TrainingHistory
+    #: The trained agent (for deployment rollouts); excluded from repr.
+    agent: object = None
+
+    @property
+    def series(self) -> np.ndarray:
+        """Average max predicted Q per (learning-active) episode."""
+        return self.history.figure4_series()
+
+    def shape(self, smooth: int = 5) -> CurveShape:
+        """Shape metrics of the measured curve."""
+        return curve_shape_metrics(self.series, smooth=smooth)
+
+    def summary(self) -> str:
+        """Run report with the ASCII curve."""
+        s = self.shape()
+        lines = [
+            self.history.summary(),
+            "",
+            f"curve shape: first={s.first:.3f} peak={s.peak:.3f}"
+            f"@{s.peak_index} last={s.last:.3f} "
+            f"(rise={s.rose} decline={s.declined_after_peak})",
+            "",
+            self.history.figure4_plot(),
+        ]
+        return "\n".join(lines)
+
+
+def build_agent(cfg: DQNDockingConfig, state_dim: int, n_actions: int):
+    """Agent factory honouring the config's ``variant``."""
+    agent_cfg = AgentConfig.from_run_config(cfg, state_dim, n_actions)
+    if cfg.variant == "distributional":
+        return DistributionalDQNAgent(agent_cfg)
+    return DQNAgent(agent_cfg)
+
+
+def run_figure4_experiment(
+    cfg: DQNDockingConfig, *, on_episode_end=None
+) -> Figure4Result:
+    """Train DQN-Docking per Algorithm 2 and collect the Figure 4 series.
+
+    At :data:`repro.config.PAPER_CONFIG` scale this is the full Section 4
+    experiment (hours); tests and benches use
+    :func:`repro.config.ci_scale_config` presets.
+    """
+    env = make_env(cfg)
+    try:
+        agent = build_agent(cfg, env.state_dim, env.n_actions)
+        trainer = Trainer(
+            env,
+            agent,
+            episodes=cfg.episodes,
+            max_steps_per_episode=cfg.max_steps_per_episode,
+            learning_start=cfg.learning_start,
+            target_update_steps=cfg.target_update_steps,
+            train_interval=cfg.train_interval,
+            on_episode_end=on_episode_end,
+        )
+        history = trainer.run()
+    finally:
+        env.close()
+    return Figure4Result(config=cfg, history=history, agent=agent)

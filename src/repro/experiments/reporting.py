@@ -1,0 +1,185 @@
+"""Report generation: runs every experiment and emits EXPERIMENTS.md.
+
+``python -m repro report`` (or :func:`generate_report`) executes the
+whole reproduction suite at CI scale and renders a markdown document
+with one paper-vs-measured section per table/figure.  EXPERIMENTS.md in
+the repository root is this output (plus hand-written commentary), so
+the document is regenerable by anyone.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.chem.builders import build_complex
+from repro.config import ComplexConfig, ci_scale_config
+from repro.experiments.ablations import run_comm_ablation
+from repro.experiments.baselines import run_baseline_comparison
+from repro.experiments.figure4 import run_figure4_experiment
+from repro.experiments.geometry import run_geometry_experiment
+from repro.experiments.table1 import render_table1, verify_paper_defaults
+from repro.metadock.blind import blind_dock
+from repro.scoring.composite import interaction_score
+from repro.scoring.reference import sequential_score_algorithm1
+from repro.version import __version__
+
+
+def _section_table1() -> str:
+    problems = verify_paper_defaults()
+    status = (
+        "all 20 published values match the config defaults exactly"
+        if not problems
+        else "MISMATCHES: " + "; ".join(problems)
+    )
+    return (
+        "## Table 1 — hyperparameters\n\n"
+        f"**Paper:** 20 hyperparameter rows (14 RL + 6 DL).\n"
+        f"**Measured:** {status}.\n\n"
+        "```\n" + render_table1() + "\n```\n"
+    )
+
+
+def _section_geometry(cfg: ComplexConfig) -> str:
+    report = run_geometry_experiment(cfg)
+    return (
+        "## Figures 1 & 3 — complex geometry\n\n"
+        "**Paper:** 2BSM receptor–ligand pair; initial pose (A) displaced "
+        "from the protein, crystallographic pose (B) in a recess; deep "
+        "penetration drives the score below −100,000.\n"
+        f"**Measured (synthetic {cfg.receptor_atoms}+{cfg.ligand_atoms}-atom "
+        "complex):**\n\n"
+        f"- crystal pose score {report.crystal.score:.2f} at "
+        f"{report.crystal_distance:.1f} Å from the receptor center\n"
+        f"- initial pose score {report.initial.score:.2f} at "
+        f"{report.initial_distance:.1f} Å (crystal wins: "
+        f"{report.pocket_is_optimum})\n"
+        f"- deep-overlap score {report.overlap.score:.3e} "
+        f"(< −100,000: {report.overlap_is_catastrophic})\n"
+    )
+
+
+def _section_scoring(cfg: ComplexConfig) -> str:
+    built = build_complex(cfg)
+    rec, lig = built.receptor, built.ligand_crystal
+    t0 = time.perf_counter()
+    seq = sequential_score_algorithm1(rec, lig)[0]
+    t_seq = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    reps = 20
+    for _ in range(reps):
+        vec = interaction_score(rec, lig)
+    t_vec = (time.perf_counter() - t0) / reps
+    return (
+        "## Equation 1 / Algorithm 1 — scoring function\n\n"
+        "**Paper:** Eq. 1 = electrostatics + Lennard-Jones + H-bond; "
+        "Algorithm 1 is the sequential baseline METADOCK parallelizes.\n"
+        f"**Measured ({rec.n_atoms}×{lig.n_atoms} atom pairs):**\n\n"
+        f"- parity: sequential {seq:.6f} vs vectorized {vec:.6f} "
+        f"(relative error {abs(seq - vec) / abs(seq):.2e})\n"
+        f"- sequential Algorithm 1: {t_seq * 1e3:.1f} ms/pose; vectorized: "
+        f"{t_vec * 1e3:.3f} ms/pose — speedup {t_seq / t_vec:.0f}×\n"
+    )
+
+
+def _section_figure4(quick: bool) -> str:
+    cfg = ci_scale_config(
+        episodes=30 if quick else 100, seed=0, learning_rate=0.002
+    )
+    result = run_figure4_experiment(cfg)
+    s = result.shape(smooth=5)
+    return (
+        "## Figure 4 — training curve (avg max predicted Q per episode)\n\n"
+        "**Paper:** rises to ≈35,000 around episode 500 of 1,800, then "
+        "declines to ≈27,000 — no convergence.\n"
+        f"**Measured ({cfg.episodes} episodes, reduced scale):** first "
+        f"{s.first:.2f} → peak {s.peak:.2f} at measured-episode "
+        f"{s.peak_index} → final {s.last:.2f} "
+        f"(rise: {s.rose}; decline after peak: {s.declined_after_peak}).\n\n"
+        "```\n" + result.history.figure4_plot() + "\n```\n"
+    )
+
+
+def _section_baselines(quick: bool) -> str:
+    cfg = ci_scale_config(episodes=40, seed=0, learning_rate=0.002)
+    comp = run_baseline_comparison(
+        cfg,
+        budget=400 if quick else 1200,
+        strategies=("montecarlo", "local", "scatter", "ga"),
+    )
+    return (
+        "## Section 4 — DQN vs Monte Carlo vs metaheuristics\n\n"
+        "**Paper:** goal is matching state-of-the-art Monte Carlo "
+        "optimization; the honest result is that DQN-Docking is not "
+        "there yet.\n"
+        "**Measured (equal score-evaluation budgets):**\n\n"
+        "```\n" + comp.summary() + "\n```\n"
+    )
+
+
+def _section_comm(quick: bool) -> str:
+    cfg = ci_scale_config(episodes=4, seed=0)
+    table = run_comm_ablation(cfg, steps=100 if quick else 300)
+    return (
+        "## Section 5 limitation 1 — engine↔agent communication\n\n"
+        "**Paper:** state+score round-trip through two files on disk; a "
+        "RAM-based channel is proposed as the fix.\n"
+        "**Measured:**\n\n"
+        "```\n" + table.summary() + "\n```\n"
+    )
+
+
+def _section_blind(cfg: ComplexConfig, quick: bool) -> str:
+    built = build_complex(cfg)
+    result = blind_dock(
+        built,
+        n_spots=8,
+        budget_per_spot=100 if quick else 250,
+        seed=0,
+        n_workers=1,
+    )
+    return (
+        "## METADOCK §2.1 — blind docking over surface spots\n\n"
+        "**Paper (via METADOCK/BINDSURF):** the protein surface is "
+        "divided into independent regions searched in parallel.\n"
+        f"**Measured:** winning spot lands "
+        f"{result.best.pocket_distance:.1f} Å from the true pocket "
+        f"center.\n\n"
+        "```\n" + result.summary() + "\n```\n"
+    )
+
+
+def generate_report(*, quick: bool = True) -> str:
+    """Run the suite and return the markdown report."""
+    geo_cfg = ComplexConfig(
+        receptor_atoms=300,
+        ligand_atoms=14,
+        receptor_radius=11.0,
+        pocket_depth=4.0,
+        initial_offset=8.0,
+        rotatable_bonds=2,
+        seed=2018,
+    )
+    clock = time.perf_counter()
+    sections = [
+        "# EXPERIMENTS — paper vs. measured\n\n"
+        f"Generated by `python -m repro report` (repro {__version__}). "
+        "All numbers below are measured at reduced (CI) scale; the "
+        "paper-scale pipeline is exercised by `examples/paper_scale.py`. "
+        "Shape agreement — who wins, what rises/declines, where "
+        "catastrophes occur — is the reproduction target; absolute "
+        "magnitudes differ (simulator substrate, reduced scale; see "
+        "DESIGN.md §5).\n",
+        _section_table1(),
+        _section_geometry(geo_cfg),
+        _section_scoring(geo_cfg),
+        _section_figure4(quick),
+        _section_baselines(quick),
+        _section_comm(quick),
+        _section_blind(geo_cfg, quick),
+    ]
+    sections.append(
+        f"\n---\nreport wall time: {time.perf_counter() - clock:.1f}s\n"
+    )
+    return "\n".join(sections)

@@ -1,0 +1,61 @@
+"""Table 1: the hyperparameter table, regenerated from the config.
+
+The defaults of :class:`repro.config.DQNDockingConfig` *are* the paper's
+Table 1; :func:`verify_paper_defaults` asserts every published value, and
+:func:`render_table1` prints the table in the paper's layout.
+"""
+
+from __future__ import annotations
+
+from repro.config import DQNDockingConfig, PAPER_CONFIG
+from repro.utils.tables import render_table
+
+#: The published values, transcribed from the paper (key -> value).
+PAPER_TABLE1 = {
+    "episodes": 1800,
+    "max_steps_per_episode": 1000,
+    "state_space": 16599,
+    "action_space": 12,
+    "shift_length": 1.0,
+    "rotation_angle_deg": 0.5,
+    "initial_exploration_steps": 20000,
+    "epsilon_start": 1.0,
+    "epsilon_final": 0.05,
+    "epsilon_decay": 4.5e-5,
+    "gamma": 0.99,
+    "replay_capacity": 400000,
+    "learning_start": 10000,
+    "target_update_steps": 1000,
+    "hidden_layers": 2,
+    "hidden_size": 135,
+    "activation": "relu",
+    "update_rule": "rmsprop",
+    "learning_rate": 0.00025,
+    "minibatch_size": 32,
+}
+
+
+def verify_paper_defaults(cfg: DQNDockingConfig | None = None) -> list[str]:
+    """Return mismatches between ``cfg`` and the published Table 1.
+
+    An empty list means exact agreement (the tests require this for
+    :data:`repro.config.PAPER_CONFIG`).
+    """
+    cfg = cfg or PAPER_CONFIG
+    mismatches = []
+    for key, expected in PAPER_TABLE1.items():
+        actual = getattr(cfg, key)
+        if actual != expected:
+            mismatches.append(f"{key}: paper={expected!r} config={actual!r}")
+    return mismatches
+
+
+def render_table1(cfg: DQNDockingConfig | None = None) -> str:
+    """The hyperparameter table in the paper's row order."""
+    cfg = cfg or PAPER_CONFIG
+    return render_table(
+        ["Hyperparameter", "Value", "Description"],
+        cfg.table1_rows(),
+        title="Table 1: Values of the hyperparameters used in DQN-Docking",
+        align=["l", "r", "l"],
+    )

@@ -1,0 +1,267 @@
+""":class:`MetadockEngine` -- the environment core the DQN interacts with.
+
+The engine owns a rigid receptor, a centered ligand template, and the
+current :class:`~repro.metadock.pose.Pose`.  Per paper Section 3 it
+exposes exactly what the RL layer needs:
+
+- ``apply_action`` maps the discrete action set (±shift per axis,
+  ±rotation per axis, and -- in the flexible extension -- ±twist per
+  rotatable bond) onto pose updates;
+- ``score`` evaluates Eq. 1 for the current pose (optionally via the
+  cutoff cell-list path);
+- ``state_vector`` flattens receptor coordinates, ligand coordinates and
+  ligand bond vectors into the raw MDP state ("the internal state of
+  METADOCK depicting the exact positions of ligand and receptor").
+
+The engine knows nothing about rewards or termination: those are the RL
+environment's business (:mod:`repro.env.docking_env`), mirroring how the
+paper bolts game rules onto METADOCK from outside.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.chem.builders import BuiltComplex
+from repro.chem.molecule import Molecule
+from repro.chem.topology import bond_vector_state, rotatable_bonds
+from repro.metadock.pose import Pose, TorsionDriver, apply_pose
+
+
+@dataclass(frozen=True)
+class EngineObservation:
+    """One engine snapshot: the raw state vector plus its score."""
+
+    state: np.ndarray
+    score: float
+    ligand_coords: np.ndarray
+    pose: Pose
+
+
+class MetadockEngine:
+    """Stateful docking engine over one receptor-ligand pair.
+
+    Parameters
+    ----------
+    built:
+        The complex (receptor + reference poses) from the builders.
+    shift_length:
+        Translation per shift action, angstrom (Table 1: the paper quotes
+        1 "nanometer" per step, which at 2BSM scale is read as the unit
+        step of the engine grid; configurable).
+    rotation_angle_deg:
+        Rotation per rotate action, degrees (Table 1: 0.5).
+    n_torsions:
+        Number of driven rotatable bonds (0 = rigid paper setting; 6 for
+        the 2BSM flexible extension -> 18 actions).
+    torsion_angle_deg:
+        Twist per torsion action, degrees.
+    include_receptor_in_state:
+        Whether the state vector carries the (static) receptor block, as
+        in the paper.  Disabling it shrinks the NN input without changing
+        the MDP (the block is constant).
+    scoring_method / scoring_kwargs:
+        Pose-scorer selection ("exact" default, "cutoff", "grid"; see
+        :mod:`repro.scoring.scorers`) -- the engine's speed/accuracy dial.
+    """
+
+    def __init__(
+        self,
+        built: BuiltComplex,
+        *,
+        shift_length: float = 1.0,
+        rotation_angle_deg: float = 0.5,
+        n_torsions: int = 0,
+        torsion_angle_deg: float = 5.0,
+        include_receptor_in_state: bool = True,
+        scoring_method: str = "exact",
+        scoring_kwargs: dict | None = None,
+    ):
+        self.built = built
+        self.receptor: Molecule = built.receptor
+        # Center the template so pose translation == ligand centroid.
+        lig = built.ligand_initial
+        self.template: Molecule = lig.with_coords(
+            lig.coords - lig.centroid()
+        )
+        self.shift_length = float(shift_length)
+        self.rotation_angle = math.radians(rotation_angle_deg)
+        self.torsion_angle = math.radians(torsion_angle_deg)
+        self.include_receptor_in_state = bool(include_receptor_in_state)
+
+        if n_torsions:
+            rb = rotatable_bonds(
+                self.template.symbols, self.template.coords, self.template.bonds
+            )
+            if len(rb) < n_torsions:
+                raise ValueError(
+                    f"ligand has {len(rb)} rotatable bonds, "
+                    f"need {n_torsions}"
+                )
+            self.torsion_driver: TorsionDriver | None = TorsionDriver(
+                self.template, rb[:n_torsions]
+            )
+        else:
+            self.torsion_driver = None
+        self.n_torsions = int(n_torsions)
+
+        self._initial_pose = Pose(
+            built.ligand_initial.centroid(),
+            # identity orientation: the template *is* the initial pose.
+            Pose.identity().orientation,
+            (0.0,) * self.n_torsions,
+        )
+        from repro.scoring.scorers import make_scorer
+
+        self.scoring_method = scoring_method
+        self.scorer = make_scorer(
+            scoring_method,
+            self.receptor,
+            self.template,
+            **(scoring_kwargs or {}),
+        )
+        self._receptor_flat = np.ascontiguousarray(
+            self.receptor.coords.reshape(-1)
+        )
+        self.pose: Pose = self._initial_pose
+        self._coords_cache: np.ndarray | None = None
+        self._score_cache: float | None = None
+        self.score_evaluations = 0
+
+    # -- action space -------------------------------------------------------
+    @property
+    def n_actions(self) -> int:
+        """12 rigid actions plus 2 per driven torsion."""
+        return 12 + 2 * self.n_torsions
+
+    def action_labels(self) -> list[str]:
+        """Human-readable action names, index-aligned with apply_action."""
+        labels = [
+            "+shift-x", "-shift-x", "+shift-y", "-shift-y",
+            "+shift-z", "-shift-z",
+            "+rot-x", "-rot-x", "+rot-y", "-rot-y", "+rot-z", "-rot-z",
+        ]
+        for k in range(self.n_torsions):
+            labels += [f"+twist-{k}", f"-twist-{k}"]
+        return labels
+
+    def apply_action(self, action: int) -> None:
+        """Mutate the current pose by discrete action ``action``."""
+        a = int(action)
+        if not 0 <= a < self.n_actions:
+            raise IndexError(
+                f"action {a} out of range 0..{self.n_actions - 1}"
+            )
+        if a < 6:
+            axis = a // 2
+            sign = 1.0 if a % 2 == 0 else -1.0
+            delta = np.zeros(3)
+            delta[axis] = sign * self.shift_length
+            self.pose = self.pose.translated(delta)
+        elif a < 12:
+            idx = a - 6
+            axis = "xyz"[idx // 2]
+            sign = 1.0 if idx % 2 == 0 else -1.0
+            self.pose = self.pose.rotated(axis, sign * self.rotation_angle)
+        else:
+            idx = a - 12
+            sign = 1.0 if idx % 2 == 0 else -1.0
+            self.pose = self.pose.twisted(idx // 2, sign * self.torsion_angle)
+        self._invalidate()
+
+    # -- state & scoring -----------------------------------------------------
+    def reset(self, pose: Pose | None = None) -> EngineObservation:
+        """Reset to the initial (or a given) pose and return the snapshot."""
+        self.pose = self._initial_pose if pose is None else pose
+        self._invalidate()
+        return self.observe()
+
+    def set_pose(self, pose: Pose) -> None:
+        """Replace the current pose (used by optimizers)."""
+        self.pose = pose
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._coords_cache = None
+        self._score_cache = None
+
+    def ligand_coords(self) -> np.ndarray:
+        """Current ligand coordinates under the pose (cached)."""
+        if self._coords_cache is None:
+            self._coords_cache = apply_pose(
+                self.template, self.pose, self.torsion_driver
+            )
+        return self._coords_cache
+
+    def score(self) -> float:
+        """Score of the current pose under the configured scorer (cached)."""
+        if self._score_cache is None:
+            self._score_cache = self.scorer.score(self.ligand_coords())
+            self.score_evaluations += 1
+        return self._score_cache
+
+    def score_pose(self, pose: Pose) -> float:
+        """Score an arbitrary pose without disturbing engine state."""
+        coords = apply_pose(self.template, pose, self.torsion_driver)
+        self.score_evaluations += 1
+        return self.scorer.score(coords)
+
+    def score_poses(self, poses: Sequence[Pose]) -> np.ndarray:
+        """Batched scoring of many poses."""
+        if not poses:
+            return np.empty(0)
+        coords = np.stack(
+            [apply_pose(self.template, p, self.torsion_driver) for p in poses]
+        )
+        self.score_evaluations += len(poses)
+        return self.scorer.score_batch(coords)
+
+    def state_dim(self) -> int:
+        """Length of the state vector."""
+        n = 3 * self.template.n_atoms + 3 * self.template.n_bonds
+        if self.include_receptor_in_state:
+            n += self._receptor_flat.size
+        return n
+
+    def state_vector(self) -> np.ndarray:
+        """The paper's raw state: positions of receptor and ligand atoms
+        plus the ligand's bond vectors, flattened."""
+        lig = self.ligand_coords()
+        parts = []
+        if self.include_receptor_in_state:
+            parts.append(self._receptor_flat)
+        parts.append(lig.reshape(-1))
+        parts.append(bond_vector_state(lig, self.template.bonds))
+        return np.concatenate(parts)
+
+    def observe(self) -> EngineObservation:
+        """Snapshot of the current state/score/coordinates/pose."""
+        return EngineObservation(
+            state=self.state_vector(),
+            score=self.score(),
+            ligand_coords=self.ligand_coords().copy(),
+            pose=self.pose,
+        )
+
+    # -- geometry helpers used by the termination rules ----------------------
+    def com_distance(self) -> float:
+        """Distance between ligand and receptor centers of mass."""
+        lig = self.template.with_coords(self.ligand_coords())
+        return float(
+            np.linalg.norm(
+                lig.center_of_mass() - self.receptor.center_of_mass()
+            )
+        )
+
+    def initial_com_distance(self) -> float:
+        """COM distance at the canonical initial pose."""
+        return self.built.initial_com_distance
+
+    def crystal_rmsd(self) -> float:
+        """Plain RMSD between current ligand and the crystallographic pose."""
+        diff = self.ligand_coords() - self.built.ligand_crystal.coords
+        return float(np.sqrt((diff**2).sum(axis=-1).mean()))

@@ -1,0 +1,68 @@
+"""Synthetic ligand libraries (the ZINC stand-in).
+
+Virtual screening filters "large libraries of small molecules with less
+than 200 atoms" (paper Section 2.1, citing ZINC).  Offline we generate a
+deterministic library of chemically varied ligands from the same growth
+process as the primary ligand, varying seed, size and charge pattern.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.chem.builders import build_ligand
+from repro.chem.molecule import Molecule
+from repro.config import ComplexConfig
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class LibraryEntry:
+    """One library compound with its generation metadata."""
+
+    ligand: Molecule
+    compound_id: str
+    n_atoms: int
+    net_charge: float
+
+
+def generate_library(
+    base: ComplexConfig,
+    n_ligands: int,
+    *,
+    seed: int = 0,
+    min_atoms: int | None = None,
+    max_atoms: int | None = None,
+) -> list[LibraryEntry]:
+    """Generate ``n_ligands`` diverse compounds around the base config.
+
+    Sizes are drawn uniformly in [min_atoms, max_atoms] (defaults: 60% to
+    140% of the base ligand, clamped to the VS convention of < 200
+    atoms).  Entirely deterministic in ``seed``.
+    """
+    if n_ligands < 0:
+        raise ValueError("n_ligands must be non-negative")
+    rng = as_generator(seed)
+    lo = min_atoms or max(6, int(base.ligand_atoms * 0.6))
+    hi = max_atoms or min(199, max(lo + 1, int(base.ligand_atoms * 1.4)))
+    entries: list[LibraryEntry] = []
+    for k in range(n_ligands):
+        n_atoms = int(rng.integers(lo, hi + 1))
+        cfg = dataclasses.replace(
+            base,
+            ligand_atoms=n_atoms,
+            rotatable_bonds=min(base.rotatable_bonds, max(0, n_atoms // 6)),
+            seed=base.seed + 104729 * (k + 1) + seed,
+        )
+        lig = build_ligand(cfg)
+        lig.name = f"LIG{k:05d}"
+        entries.append(
+            LibraryEntry(
+                ligand=lig,
+                compound_id=lig.name,
+                n_atoms=lig.n_atoms,
+                net_charge=float(lig.charges.sum()),
+            )
+        )
+    return entries

@@ -1,0 +1,247 @@
+"""The parameterized metaheuristic schema of METADOCK.
+
+METADOCK's central idea (Imbernón et al. 2017) is a *single* population
+loop whose numeric parameters instantiate different classical
+metaheuristics::
+
+    Initialize(INEIni, ...)
+    while not End():
+        Select(NBESel, NWOSel)
+        Combine(NBECom, NWOCom)
+        Improve(IIEImp, step)
+        Include()
+
+Large combine counts with no improvement -> genetic algorithm; a
+population of one with heavy improvement -> local search; everything in
+between is reachable by turning the dials.  :mod:`repro.metadock.
+strategies` provides the named presets the screening driver and benches
+use.
+
+Fitness here is the METADOCK score (higher = better).  Individuals are
+pose vectors (see :meth:`repro.metadock.pose.Pose.to_vector`), so the
+same schema optimizes rigid and flexible ligands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.metadock.engine import MetadockEngine
+from repro.metadock.pose import Pose, random_pose
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class MetaheuristicParams:
+    """The schema's numeric dials (METADOCK Table 1 analogues)."""
+
+    #: Population size after initialization (INEIni).
+    population_size: int = 24
+    #: Candidates generated per individual at initialization, keeping the
+    #: best (initialization intensification, IIEIni).
+    init_candidates: int = 1
+    #: Number of best individuals selected as parents (NBESel).
+    n_best_select: int = 8
+    #: Number of worst individuals also kept for diversity (NWOSel).
+    n_worst_select: int = 2
+    #: Offspring pairs combined per generation (NBECom+NWOCom analogue).
+    n_combine: int = 8
+    #: Local-improvement iterations applied per surviving individual
+    #: (IIEImp); 0 disables the improve phase.
+    improve_iterations: int = 2
+    #: Gaussian step for improvement moves: translation sigma (angstrom).
+    improve_translation_sigma: float = 0.6
+    #: Gaussian step for improvement moves: rotation sigma (radians).
+    improve_rotation_sigma: float = 0.15
+    #: Mutation probability per offspring gene block.
+    mutation_rate: float = 0.15
+    #: Generations before stopping (End condition).
+    generations: int = 12
+    #: Optional cap on score evaluations; the loop exits once exceeded.
+    max_evaluations: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.population_size < 1:
+            raise ValueError("population_size must be >= 1")
+        if self.n_best_select + self.n_worst_select > self.population_size:
+            raise ValueError("selection exceeds population size")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must lie in [0, 1]")
+        if self.generations < 0:
+            raise ValueError("generations must be non-negative")
+
+
+@dataclass
+class OptimizationResult:
+    """Best pose found plus the search trace."""
+
+    best_pose: Pose
+    best_score: float
+    evaluations: int
+    #: Best score after each generation (monotone non-decreasing).
+    history: list[float] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line human-readable result."""
+        return (
+            f"best score {self.best_score:.2f} after "
+            f"{self.evaluations} evaluations "
+            f"({len(self.history)} generations)"
+        )
+
+
+class MetaheuristicSchema:
+    """Runs the parameterized loop against a :class:`MetadockEngine`.
+
+    The engine is used purely as a (batched) pose-scoring oracle; the
+    engine's own current pose is left untouched.
+    """
+
+    def __init__(
+        self,
+        engine: MetadockEngine,
+        params: MetaheuristicParams,
+        *,
+        seed: SeedLike = None,
+        search_center: np.ndarray | None = None,
+        search_radius: float | None = None,
+    ):
+        self.engine = engine
+        self.params = params
+        self.rng = as_generator(seed)
+        built = engine.built
+        self.center = (
+            np.asarray(search_center, dtype=float)
+            if search_center is not None
+            else built.receptor.centroid()
+        )
+        self.radius = (
+            float(search_radius)
+            if search_radius is not None
+            else built.config.receptor_radius
+            + built.config.initial_offset
+        )
+        self.n_torsions = engine.n_torsions
+        self._evals = 0
+
+    # -- schema phases ------------------------------------------------------
+    def _initialize(self) -> tuple[list[Pose], np.ndarray]:
+        """Initialize(): spread candidates, keep the per-slot best."""
+        p = self.params
+        poses: list[Pose] = []
+        scores = np.empty(p.population_size)
+        for k in range(p.population_size):
+            cands = [
+                random_pose(self.rng, self.center, self.radius, self.n_torsions)
+                for _ in range(max(1, p.init_candidates))
+            ]
+            s = self._score_batch(cands)
+            best = int(np.argmax(s))
+            poses.append(cands[best])
+            scores[k] = s[best]
+        return poses, scores
+
+    def _select(self, poses: list[Pose], scores: np.ndarray) -> list[int]:
+        """Select(): indices of the elite plus a diversity tail."""
+        p = self.params
+        order = np.argsort(scores)[::-1]
+        chosen = list(order[: p.n_best_select])
+        if p.n_worst_select:
+            chosen += list(order[-p.n_worst_select :])
+        return chosen
+
+    def _combine(self, parents: list[Pose]) -> list[Pose]:
+        """Combine(): blend-crossover of random parent pairs + mutation."""
+        p = self.params
+        children: list[Pose] = []
+        if len(parents) < 2:
+            return children
+        vecs = np.stack([q.to_vector() for q in parents])
+        for _ in range(p.n_combine):
+            i, j = self.rng.choice(len(parents), size=2, replace=False)
+            alpha = self.rng.uniform(-0.25, 1.25, size=vecs.shape[1])
+            child = alpha * vecs[i] + (1.0 - alpha) * vecs[j]
+            if self.rng.uniform() < p.mutation_rate:
+                child[:3] += self.rng.normal(
+                    scale=2.0 * p.improve_translation_sigma, size=3
+                )
+                child[3:7] += self.rng.normal(scale=0.2, size=4)
+                if self.n_torsions:
+                    child[7:] += self.rng.normal(
+                        scale=0.5, size=self.n_torsions
+                    )
+            children.append(Pose.from_vector(child, self.n_torsions))
+        return children
+
+    def _improve(self, pose: Pose, score: float) -> tuple[Pose, float]:
+        """Improve(): greedy Gaussian hill-climb around one individual."""
+        p = self.params
+        best_pose, best_score = pose, score
+        for _ in range(p.improve_iterations):
+            cand = best_pose.translated(
+                self.rng.normal(scale=p.improve_translation_sigma, size=3)
+            )
+            axis = self.rng.normal(size=3)
+            cand = cand.rotated(
+                axis, self.rng.normal(scale=p.improve_rotation_sigma)
+            )
+            if self.n_torsions and self.rng.uniform() < 0.5:
+                cand = cand.twisted(
+                    int(self.rng.integers(self.n_torsions)),
+                    self.rng.normal(scale=0.3),
+                )
+            s = self._score_batch([cand])[0]
+            if s > best_score:
+                best_pose, best_score = cand, s
+        return best_pose, best_score
+
+    def _score_batch(self, poses: list[Pose]) -> np.ndarray:
+        self._evals += len(poses)
+        return self.engine.score_poses(poses)
+
+    def _budget_left(self) -> bool:
+        cap = self.params.max_evaluations
+        return cap is None or self._evals < cap
+
+    # -- driver ---------------------------------------------------------------
+    def run(self) -> OptimizationResult:
+        """Execute the schema and return the best pose found."""
+        p = self.params
+        poses, scores = self._initialize()
+        history: list[float] = [float(scores.max())]
+        for _gen in range(p.generations):
+            if not self._budget_left():
+                break
+            elite_idx = self._select(poses, scores)
+            parents = [poses[i] for i in elite_idx]
+            children = self._combine(parents)
+            if children:
+                child_scores = self._score_batch(children)
+            else:
+                child_scores = np.empty(0)
+            # Improve phase on the elite (intensification).
+            improved: list[Pose] = []
+            improved_scores: list[float] = []
+            if p.improve_iterations and self._budget_left():
+                for i in elite_idx[: p.n_best_select]:
+                    np_pose, np_score = self._improve(poses[i], scores[i])
+                    improved.append(np_pose)
+                    improved_scores.append(np_score)
+            # Include(): pool everything, keep the best population_size.
+            pool_poses = poses + children + improved
+            pool_scores = np.concatenate(
+                [scores, child_scores, np.asarray(improved_scores)]
+            )
+            order = np.argsort(pool_scores)[::-1][: p.population_size]
+            poses = [pool_poses[i] for i in order]
+            scores = pool_scores[order]
+            history.append(float(scores.max()))
+        best = int(np.argmax(scores))
+        return OptimizationResult(
+            best_pose=poses[best],
+            best_score=float(scores[best]),
+            evaluations=self._evals,
+            history=history,
+        )

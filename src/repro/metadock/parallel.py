@@ -1,0 +1,103 @@
+"""Parallel pose evaluation: the "parallel" in parallel metaheuristic.
+
+METADOCK evaluates "millions of positions" by fanning pose batches across
+GPU threads; the CPU analogue here is two-level:
+
+1. **Vectorized batching** -- :func:`repro.scoring.composite.
+   score_pose_batch` already amortizes one receptor against a pose chunk
+   inside BLAS.  This is the default and is what the engine uses.
+2. **Process pools** -- for many independent searches (one per surface
+   spot, or one per library ligand) this module forks workers that each
+   hold the receptor once (copy-on-write under fork; re-pickled under
+   spawn) and stream pose chunks.
+
+Workers receive the molecules via a pool initializer rather than per
+task, so a 3k-atom receptor is serialized once per worker, not once per
+chunk -- the mpi4py guide's "communicate buffers, not objects, and do it
+rarely" rule applied to multiprocessing.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+import numpy as np
+
+from repro.chem.molecule import Molecule
+from repro.scoring.composite import score_pose_batch
+
+# Module-level worker state, installed by the pool initializer.
+_WORKER_RECEPTOR: Molecule | None = None
+_WORKER_LIGAND: Molecule | None = None
+
+
+def _init_worker(receptor: Molecule, ligand: Molecule) -> None:
+    global _WORKER_RECEPTOR, _WORKER_LIGAND
+    _WORKER_RECEPTOR = receptor
+    _WORKER_LIGAND = ligand
+
+
+def _score_chunk(coords_chunk: np.ndarray) -> np.ndarray:
+    if _WORKER_RECEPTOR is None or _WORKER_LIGAND is None:
+        raise RuntimeError("worker not initialized")
+    return score_pose_batch(_WORKER_RECEPTOR, _WORKER_LIGAND, coords_chunk)
+
+
+def default_workers() -> int:
+    """Worker count: physical-ish core count, capped for test machines."""
+    return max(1, min(8, (os.cpu_count() or 2)))
+
+
+def score_coords_parallel(
+    receptor: Molecule,
+    ligand: Molecule,
+    coords_batch: np.ndarray,
+    *,
+    n_workers: int | None = None,
+    chunk: int = 256,
+) -> np.ndarray:
+    """Score (k, m, 3) pose coordinates across a process pool.
+
+    Falls back to the in-process vectorized path when the batch is small
+    or one worker is requested (pool startup would dominate).
+    Result order matches the input order.
+    """
+    cb = np.ascontiguousarray(coords_batch, dtype=float)
+    if cb.ndim != 3:
+        raise ValueError("coords_batch must have shape (k, m, 3)")
+    k = cb.shape[0]
+    workers = default_workers() if n_workers is None else int(n_workers)
+    if workers <= 1 or k <= chunk:
+        return score_pose_batch(receptor, ligand, cb)
+    chunks = [cb[i : i + chunk] for i in range(0, k, chunk)]
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(receptor, ligand),
+    ) as pool:
+        results = list(pool.map(_score_chunk, chunks))
+    return np.concatenate(results)
+
+
+def map_over_seeds(
+    fn,
+    seeds: Sequence[int],
+    *,
+    n_workers: int | None = None,
+):
+    """Run ``fn(seed)`` for every seed, in parallel when it pays off.
+
+    ``fn`` must be a module-level callable (picklable).  Used to fan
+    independent optimizations (per spot / per ligand) across cores; the
+    caller supplies deterministic per-task seeds from
+    :meth:`repro.utils.rng.RngFactory.seeds` so results are reproducible
+    regardless of scheduling order.
+    """
+    workers = default_workers() if n_workers is None else int(n_workers)
+    seeds = list(seeds)
+    if workers <= 1 or len(seeds) <= 1:
+        return [fn(s) for s in seeds]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, seeds))

@@ -1,0 +1,173 @@
+"""Pose parameterization: rigid placement plus optional torsions.
+
+A pose is the ligand's full configuration relative to the (fixed)
+receptor frame:
+
+- ``translation`` -- position of the ligand's reference centroid;
+- ``orientation`` -- unit quaternion applied about that centroid;
+- ``torsions`` -- dihedral offsets (radians) about each rotatable bond,
+  applied to the template *before* the rigid move (the Section 5
+  flexible-ligand extension).
+
+Application order: torsions -> rotation -> translation, all relative to a
+*template* ligand stored centered at the origin.  Poses are immutable;
+the engine keeps the current pose and derives coordinates on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.chem.molecule import Molecule
+from repro.chem.topology import torsion_partition
+from repro.chem.transforms import Quaternion, axis_angle_matrix
+
+
+@dataclass(frozen=True)
+class Pose:
+    """Immutable ligand pose (see module docstring for semantics)."""
+
+    translation: np.ndarray
+    orientation: Quaternion
+    torsions: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        t = np.asarray(self.translation, dtype=float).reshape(3)
+        object.__setattr__(self, "translation", t)
+        object.__setattr__(self, "torsions", tuple(float(v) for v in self.torsions))
+
+    @staticmethod
+    def identity(n_torsions: int = 0) -> "Pose":
+        """Pose at the origin with no rotation and zero torsions."""
+        return Pose(np.zeros(3), Quaternion.identity(), (0.0,) * n_torsions)
+
+    # -- incremental moves (the agent's actions) ---------------------------
+    def translated(self, delta) -> "Pose":
+        """Pose shifted by ``delta`` (world frame)."""
+        return replace(self, translation=self.translation + np.asarray(delta, float))
+
+    def rotated(self, axis, angle_rad: float) -> "Pose":
+        """Pose rotated by ``angle_rad`` about ``axis`` through its centroid."""
+        dq = Quaternion.from_axis_angle(axis, angle_rad)
+        return replace(self, orientation=(dq * self.orientation).normalized())
+
+    def twisted(self, torsion_index: int, delta_rad: float) -> "Pose":
+        """Pose with one torsion angle incremented."""
+        if not 0 <= torsion_index < len(self.torsions):
+            raise IndexError(
+                f"torsion {torsion_index} out of range "
+                f"(pose has {len(self.torsions)})"
+            )
+        tors = list(self.torsions)
+        tors[torsion_index] += float(delta_rad)
+        return replace(self, torsions=tuple(tors))
+
+    # -- flat-vector codec (metaheuristics operate on vectors) -------------
+    def to_vector(self) -> np.ndarray:
+        """[tx, ty, tz, qw, qx, qy, qz, torsions...]."""
+        return np.concatenate(
+            [
+                self.translation,
+                self.orientation.to_array(),
+                np.asarray(self.torsions, dtype=float),
+            ]
+        )
+
+    @staticmethod
+    def from_vector(vec: np.ndarray, n_torsions: int = 0) -> "Pose":
+        """Inverse of :meth:`to_vector`; the quaternion part is normalized."""
+        v = np.asarray(vec, dtype=float)
+        if v.size != 7 + n_torsions:
+            raise ValueError(
+                f"expected length {7 + n_torsions}, got {v.size}"
+            )
+        return Pose(
+            v[:3].copy(),
+            Quaternion.from_array(v[3:7]),
+            tuple(v[7:]),
+        )
+
+
+class TorsionDriver:
+    """Precomputed torsion machinery for one ligand template.
+
+    For each rotatable bond (i, j) the moving side (partition) and the
+    bond axis are cached; :meth:`apply` then rotates each partition about
+    its bond axis by the pose's torsion angles.
+    """
+
+    def __init__(self, template: Molecule, bonds: Sequence[tuple[int, int]]):
+        self.bonds = [(int(i), int(j)) for i, j in bonds]
+        self._partitions = [
+            torsion_partition(template.n_atoms, template.bonds, b)
+            for b in self.bonds
+        ]
+
+    @property
+    def n_torsions(self) -> int:
+        """Number of driven torsions."""
+        return len(self.bonds)
+
+    def apply(self, coords: np.ndarray, torsions: Sequence[float]) -> np.ndarray:
+        """Return template coordinates with torsion angles applied."""
+        if len(torsions) != len(self.bonds):
+            raise ValueError(
+                f"expected {len(self.bonds)} torsions, got {len(torsions)}"
+            )
+        out = np.array(coords, dtype=float, copy=True)
+        for (i, j), part, angle in zip(
+            self.bonds, self._partitions, torsions
+        ):
+            if angle == 0.0:
+                continue
+            axis = out[j] - out[i]
+            norm = np.linalg.norm(axis)
+            if norm < 1e-9:  # degenerate bond; skip rather than blow up
+                continue
+            rot = axis_angle_matrix(axis / norm, float(angle))
+            pivot = out[i]
+            out[part] = (out[part] - pivot) @ rot.T + pivot
+        return out
+
+
+def apply_pose(
+    template: Molecule,
+    pose: Pose,
+    torsion_driver: TorsionDriver | None = None,
+) -> np.ndarray:
+    """Coordinates of ``template`` under ``pose``.
+
+    ``template`` must be stored centered (the builders guarantee
+    ``centroid == 0`` for ligand templates); rotation is about that
+    centroid, then the translation places it.
+    """
+    coords = template.coords
+    if pose.torsions and torsion_driver is None:
+        raise ValueError("pose has torsions but no TorsionDriver given")
+    if torsion_driver is not None and torsion_driver.n_torsions:
+        coords = torsion_driver.apply(coords, pose.torsions or (0.0,) * torsion_driver.n_torsions)
+        coords = coords - coords.mean(axis=0)  # re-center after twisting
+    rot = pose.orientation.to_matrix()
+    return coords @ rot.T + pose.translation
+
+
+def random_pose(
+    rng: np.random.Generator,
+    center: np.ndarray,
+    radius: float,
+    n_torsions: int = 0,
+) -> Pose:
+    """Uniform random pose within a ball around ``center``."""
+    # Uniform in the ball via radius^(1/3) scaling.
+    direction = rng.normal(size=3)
+    direction /= max(np.linalg.norm(direction), 1e-12)
+    r = radius * rng.uniform() ** (1.0 / 3.0)
+    torsions = tuple(rng.uniform(-np.pi, np.pi, size=n_torsions))
+    return Pose(
+        np.asarray(center, float) + direction * r,
+        Quaternion.random(rng),
+        torsions,
+    )

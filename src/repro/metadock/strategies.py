@@ -1,0 +1,89 @@
+"""Named instantiations of the METADOCK metaheuristic schema.
+
+Each preset is one point in the schema's parameter space; together they
+cover the classical strategies the METADOCK paper reports ("several
+heuristic strategies can be applied").  All take a ``budget`` in score
+evaluations so comparisons across strategies are evaluation-fair.
+"""
+
+from __future__ import annotations
+
+from repro.metadock.metaheuristic import MetaheuristicParams
+
+
+def genetic_algorithm_params(budget: int | None = None) -> MetaheuristicParams:
+    """Combine-heavy preset: large population, crossover, no local search."""
+    return MetaheuristicParams(
+        population_size=32,
+        init_candidates=1,
+        n_best_select=12,
+        n_worst_select=4,
+        n_combine=24,
+        improve_iterations=0,
+        mutation_rate=0.25,
+        generations=20,
+        max_evaluations=budget,
+    )
+
+
+def local_search_params(budget: int | None = None) -> MetaheuristicParams:
+    """Improvement-only preset: tiny population, heavy hill-climbing."""
+    return MetaheuristicParams(
+        population_size=4,
+        init_candidates=4,
+        n_best_select=4,
+        n_worst_select=0,
+        n_combine=0,
+        improve_iterations=12,
+        improve_translation_sigma=0.8,
+        improve_rotation_sigma=0.25,
+        mutation_rate=0.0,
+        generations=20,
+        max_evaluations=budget,
+    )
+
+
+def random_search_params(budget: int | None = None) -> MetaheuristicParams:
+    """Pure diversification: resample every generation, no memory pressure.
+
+    Implemented as a population that only survives through Include(); with
+    no combine/improve the schema degenerates to best-of-N sampling, the
+    weakest sensible baseline.
+    """
+    return MetaheuristicParams(
+        population_size=48,
+        init_candidates=1,
+        n_best_select=1,
+        n_worst_select=0,
+        n_combine=0,
+        improve_iterations=0,
+        mutation_rate=0.0,
+        generations=0,  # initialization is the whole search
+        max_evaluations=budget,
+    )
+
+
+def scatter_search_params(budget: int | None = None) -> MetaheuristicParams:
+    """Balanced preset: moderate combine + improve (scatter-search-like)."""
+    return MetaheuristicParams(
+        population_size=16,
+        init_candidates=2,
+        n_best_select=6,
+        n_worst_select=2,
+        n_combine=8,
+        improve_iterations=4,
+        improve_translation_sigma=0.5,
+        improve_rotation_sigma=0.12,
+        mutation_rate=0.1,
+        generations=16,
+        max_evaluations=budget,
+    )
+
+
+#: Registry used by the screening driver and the benches.
+STRATEGY_PRESETS = {
+    "ga": genetic_algorithm_params,
+    "local": local_search_params,
+    "random": random_search_params,
+    "scatter": scatter_search_params,
+}

@@ -1,0 +1,51 @@
+"""Checkpointing: save/restore network weights as ``.npz`` archives.
+
+Only parameters are persisted (not optimizer state): the use case is the
+paper's deployment story -- "reducing the computational cost once the NN
+is already trained" -- where a trained Q-network is reloaded for greedy
+rollouts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.nn.network import MLP
+
+PathLike = Union[str, Path]
+
+
+def save_network(net: MLP, path: PathLike) -> None:
+    """Write all parameters to ``path`` (npz, keys ``p0``, ``p1``, ...)."""
+    arrays = {f"p{i}": p for i, p in enumerate(net.params())}
+    np.savez(path, **arrays)
+
+
+def load_network(net: MLP, path: PathLike) -> MLP:
+    """Load parameters saved by :func:`save_network` into ``net``.
+
+    The architecture must match; shapes are validated before any write,
+    so a mismatch leaves ``net`` untouched.
+    """
+    with np.load(path) as data:
+        params = net.params()
+        keys = [f"p{i}" for i in range(len(params))]
+        missing = [k for k in keys if k not in data]
+        if missing or len(data.files) != len(params):
+            raise ValueError(
+                f"checkpoint has {len(data.files)} arrays, "
+                f"network expects {len(params)}"
+            )
+        loaded = [data[k] for k in keys]
+        for p, arr in zip(params, loaded):
+            if p.shape != arr.shape:
+                raise ValueError(
+                    f"shape mismatch: checkpoint {arr.shape} vs "
+                    f"network {p.shape}"
+                )
+        for p, arr in zip(params, loaded):
+            p[...] = arr
+    return net

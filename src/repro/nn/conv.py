@@ -1,0 +1,302 @@
+"""Convolutional layers for the image-state extension (paper Section 5).
+
+The paper proposes replacing the raw coordinate state with "a stack of
+receptor-ligand images" processed by a convolutional network.  This
+module provides the needed layers in the same forward/backward protocol
+as :mod:`repro.nn.layers`:
+
+- :class:`Reshape` -- flat replay-buffer vectors <-> (c, h, w) images;
+- :class:`Conv2D` -- im2col-based 2-D convolution (stride, same/valid);
+- :class:`MaxPool2D` -- non-overlapping max pooling;
+- :class:`Flatten` -- image -> vector before the dense head;
+- :func:`build_cnn` -- the DQN-Nature-shaped factory.
+
+Data layout is (batch, channels, height, width) throughout.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.init import he_init
+from repro.nn.layers import ACTIVATIONS, Dense, Layer
+from repro.nn.network import MLP
+from repro.utils.rng import SeedLike, as_generator
+
+
+class Reshape(Layer):
+    """Reshape (batch, in) -> (batch, *shape); inverse on backward."""
+
+    def __init__(self, shape: tuple[int, ...]):
+        self.shape = tuple(int(s) for s in shape)
+        self._in_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if train:
+            self._in_shape = x.shape
+        return x.reshape(x.shape[0], *self.shape)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._in_shape is None:
+            raise RuntimeError("backward before forward(train=True)")
+        return np.asarray(grad_out, dtype=float).reshape(self._in_shape)
+
+
+class Flatten(Layer):
+    """Flatten everything after the batch axis."""
+
+    def __init__(self) -> None:
+        self._in_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if train:
+            self._in_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._in_shape is None:
+            raise RuntimeError("backward before forward(train=True)")
+        return np.asarray(grad_out, dtype=float).reshape(self._in_shape)
+
+
+def _im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int
+) -> tuple[np.ndarray, int, int]:
+    """(b, c, h, w) -> (b, out_h * out_w, c * kh * kw) patch matrix.
+
+    Built from a strided view; the copy happens once at the reshape so
+    patches are contiguous for the GEMM.
+    """
+    b, c, h, w = x.shape
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    s0, s1, s2, s3 = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(b, c, out_h, out_w, kh, kw),
+        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
+        writeable=False,
+    )
+    cols = view.transpose(0, 2, 3, 1, 4, 5).reshape(
+        b, out_h * out_w, c * kh * kw
+    )
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+class Conv2D(Layer):
+    """2-D convolution via im2col + GEMM.
+
+    Parameters: weight (out_c, in_c, kh, kw) He-initialized, bias
+    (out_c,).  ``padding`` is "valid" (none) or "same" (zero-pad so the
+    output spatial size equals ceil(input / stride)).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        padding: str = "valid",
+        rng: SeedLike = None,
+    ):
+        if kernel_size < 1 or stride < 1:
+            raise ValueError("kernel_size and stride must be >= 1")
+        if padding not in ("valid", "same"):
+            raise ValueError(f"unknown padding {padding!r}")
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        gen = as_generator(rng)
+        self.w = he_init(fan_in, out_channels, gen).T.reshape(
+            out_channels, in_channels, kernel_size, kernel_size
+        )
+        self.b = np.zeros(out_channels)
+        self.dw = np.zeros_like(self.w)
+        self.db = np.zeros_like(self.b)
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, ...] | None = None
+        self._pad: tuple[int, int, int, int] = (0, 0, 0, 0)
+        self._out_hw: tuple[int, int] = (0, 0)
+
+    def _pad_amounts(self, h: int, w: int) -> tuple[int, int, int, int]:
+        if self.padding == "valid":
+            return (0, 0, 0, 0)
+        k, s = self.kernel_size, self.stride
+        out_h = math.ceil(h / s)
+        out_w = math.ceil(w / s)
+        pad_h = max(0, (out_h - 1) * s + k - h)
+        pad_w = max(0, (out_w - 1) * s + k - w)
+        return (
+            pad_h // 2,
+            pad_h - pad_h // 2,
+            pad_w // 2,
+            pad_w - pad_w // 2,
+        )
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected (b, {self.in_channels}, h, w), got {x.shape}"
+            )
+        top, bottom, left, right = self._pad_amounts(x.shape[2], x.shape[3])
+        if any((top, bottom, left, right)):
+            x = np.pad(
+                x, ((0, 0), (0, 0), (top, bottom), (left, right))
+            )
+        cols, out_h, out_w = _im2col(
+            x, self.kernel_size, self.kernel_size, self.stride
+        )
+        w_mat = self.w.reshape(self.out_channels, -1)  # (oc, c*kh*kw)
+        out = cols @ w_mat.T + self.b  # (b, oh*ow, oc)
+        if train:
+            self._cols = cols
+            self._x_shape = x.shape
+            self._pad = (top, bottom, left, right)
+            self._out_hw = (out_h, out_w)
+        b = x.shape[0]
+        return out.transpose(0, 2, 1).reshape(
+            b, self.out_channels, out_h, out_w
+        )
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None:
+            raise RuntimeError("backward before forward(train=True)")
+        g = np.asarray(grad_out, dtype=float)
+        b, oc, out_h, out_w = g.shape
+        g_mat = g.reshape(b, oc, out_h * out_w).transpose(0, 2, 1)
+        # Parameter gradients.
+        w_mat = self.w.reshape(oc, -1)
+        self.dw += np.einsum("bpo,bpk->ok", g_mat, self._cols).reshape(
+            self.w.shape
+        )
+        self.db += g_mat.sum(axis=(0, 1))
+        # Input gradient: scatter columns back (col2im).
+        grad_cols = g_mat @ w_mat  # (b, oh*ow, c*kh*kw)
+        _bs, c, h, w = self._x_shape
+        grad_x = np.zeros(self._x_shape)
+        k, s = self.kernel_size, self.stride
+        grad_cols = grad_cols.reshape(b, out_h, out_w, c, k, k)
+        for ki in range(k):
+            for kj in range(k):
+                grad_x[
+                    :, :, ki : ki + out_h * s : s, kj : kj + out_w * s : s
+                ] += grad_cols[:, :, :, :, ki, kj].transpose(0, 3, 1, 2)
+        top, bottom, left, right = self._pad
+        if any((top, bottom, left, right)):
+            grad_x = grad_x[
+                :,
+                :,
+                top : h - bottom,
+                left : w - right,
+            ]
+        return grad_x
+
+    def params(self) -> list[np.ndarray]:
+        return [self.w, self.b]
+
+    def grads(self) -> list[np.ndarray]:
+        return [self.dw, self.db]
+
+    def output_shape(self, h: int, w: int) -> tuple[int, int, int]:
+        """(channels, out_h, out_w) for an (h, w) input."""
+        top, bottom, left, right = self._pad_amounts(h, w)
+        h2 = h + top + bottom
+        w2 = w + left + right
+        out_h = (h2 - self.kernel_size) // self.stride + 1
+        out_w = (w2 - self.kernel_size) // self.stride + 1
+        return self.out_channels, out_h, out_w
+
+
+class MaxPool2D(Layer):
+    """Non-overlapping max pooling with square window ``size``."""
+
+    def __init__(self, size: int = 2):
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.size = int(size)
+        self._mask: np.ndarray | None = None
+        self._in_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        b, c, h, w = x.shape
+        s = self.size
+        if h % s or w % s:
+            # Truncate ragged borders (standard "valid" pooling).
+            x = x[:, :, : h - h % s, : w - w % s]
+            b, c, h, w = x.shape
+        view = x.reshape(b, c, h // s, s, w // s, s)
+        out = view.max(axis=(3, 5))
+        if train:
+            self._in_shape = x.shape
+            self._mask = view == out[:, :, :, None, :, None]
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None or self._in_shape is None:
+            raise RuntimeError("backward before forward(train=True)")
+        g = np.asarray(grad_out, dtype=float)
+        expanded = self._mask * g[:, :, :, None, :, None]
+        # Ties split the gradient? Standard practice routes to all argmax
+        # positions; normalize so the total matches (rare with floats).
+        counts = self._mask.sum(axis=(3, 5), keepdims=True)
+        expanded = expanded / counts
+        return expanded.reshape(self._in_shape)
+
+
+def build_cnn(
+    input_shape: tuple[int, int, int],
+    n_outputs: int,
+    *,
+    conv_channels: Sequence[int] = (16, 32),
+    kernel_size: int = 3,
+    stride: int = 1,
+    pool: int = 2,
+    hidden: int = 128,
+    activation: str = "relu",
+    rng: SeedLike = None,
+) -> MLP:
+    """A DQN-Nature-shaped CNN taking *flat* state vectors.
+
+    ``input_shape`` is (channels, height, width); the first layer
+    reshapes the flat replay-buffer vector, conv/pool blocks follow, and
+    a dense head emits ``n_outputs`` Q-values.  Returns a plain
+    :class:`~repro.nn.network.MLP`, so agents, optimizers and
+    checkpoints work unchanged.
+    """
+    try:
+        act_cls = ACTIVATIONS[activation]
+    except KeyError:
+        raise ValueError(f"unknown activation {activation!r}") from None
+    gen = as_generator(rng)
+    c, h, w = input_shape
+    layers: list[Layer] = [Reshape(input_shape)]
+    prev_c, cur_h, cur_w = c, h, w
+    for out_c in conv_channels:
+        conv = Conv2D(
+            prev_c, out_c, kernel_size, stride, padding="same", rng=gen
+        )
+        layers.append(conv)
+        layers.append(act_cls())
+        _c, cur_h, cur_w = conv.output_shape(cur_h, cur_w)
+        if pool > 1 and cur_h >= pool and cur_w >= pool:
+            layers.append(MaxPool2D(pool))
+            cur_h //= pool
+            cur_w //= pool
+        prev_c = out_c
+    layers.append(Flatten())
+    flat = prev_c * cur_h * cur_w
+    layers.append(Dense(flat, hidden, rng=gen))
+    layers.append(act_cls())
+    layers.append(Dense(hidden, n_outputs, rng=gen))
+    return MLP(layers)

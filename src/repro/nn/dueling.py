@@ -1,0 +1,82 @@
+"""Dueling network architecture (Wang et al.; paper Section 5 extension).
+
+The dueling head splits the final representation into a scalar state
+value ``V(s)`` and per-action advantages ``A(s, a)``, recombined as::
+
+    Q(s, a) = V(s) + A(s, a) - mean_a' A(s, a')
+
+The mean-subtraction keeps the decomposition identifiable.  The head is
+implemented as a :class:`~repro.nn.layers.Layer` so it slots into the
+same ``MLP`` container, optimizers and checkpoints as everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.layers import ACTIVATIONS, Dense, Layer
+from repro.nn.network import MLP
+from repro.utils.rng import SeedLike, as_generator
+
+
+class DuelingHead(Layer):
+    """Parallel value/advantage streams with mean-centered aggregation."""
+
+    def __init__(
+        self,
+        in_features: int,
+        n_actions: int,
+        *,
+        rng: SeedLike = None,
+    ):
+        gen = as_generator(rng)
+        self.value = Dense(in_features, 1, rng=gen)
+        self.advantage = Dense(in_features, n_actions, rng=gen)
+        self.n_actions = int(n_actions)
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        v = self.value.forward(x, train=train)  # (b, 1)
+        a = self.advantage.forward(x, train=train)  # (b, k)
+        return v + a - a.mean(axis=1, keepdims=True)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        g = np.asarray(grad_out, dtype=float)
+        # dQ/dV = 1 for every action -> value grad is the row sum.
+        grad_v = g.sum(axis=1, keepdims=True)
+        # dQ_a/dA_a' = delta(a,a') - 1/k.
+        grad_a = g - g.sum(axis=1, keepdims=True) / self.n_actions
+        gx_v = self.value.backward(grad_v)
+        gx_a = self.advantage.backward(grad_a)
+        return gx_v + gx_a
+
+    def params(self) -> list[np.ndarray]:
+        return self.value.params() + self.advantage.params()
+
+    def grads(self) -> list[np.ndarray]:
+        return self.value.grads() + self.advantage.grads()
+
+
+def DuelingMLP(
+    input_dim: int,
+    hidden_sizes: Sequence[int],
+    n_actions: int,
+    *,
+    activation: str = "relu",
+    rng: SeedLike = None,
+) -> MLP:
+    """An MLP trunk with a :class:`DuelingHead` output."""
+    try:
+        act_cls = ACTIVATIONS[activation]
+    except KeyError:
+        raise ValueError(f"unknown activation {activation!r}") from None
+    gen = as_generator(rng)
+    layers: list[Layer] = []
+    prev = input_dim
+    for width in hidden_sizes:
+        layers.append(Dense(prev, width, rng=gen))
+        layers.append(act_cls())
+        prev = width
+    layers.append(DuelingHead(prev, n_actions, rng=gen))
+    return MLP(layers)

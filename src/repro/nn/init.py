@@ -1,0 +1,28 @@
+"""Weight initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+def he_init(
+    fan_in: int, fan_out: int, rng: SeedLike = None
+) -> np.ndarray:
+    """He-normal initialization -- the standard pairing for ReLU layers."""
+    gen = as_generator(rng)
+    std = np.sqrt(2.0 / fan_in)
+    return gen.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def glorot_init(
+    fan_in: int, fan_out: int, rng: SeedLike = None
+) -> np.ndarray:
+    """Glorot/Xavier-uniform initialization (tanh/sigmoid layers)."""
+    gen = as_generator(rng)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return gen.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+INITIALIZERS = {"he": he_init, "glorot": glorot_init}

@@ -1,0 +1,177 @@
+"""Network layers with explicit forward/backward passes.
+
+Each layer caches exactly what its backward pass needs and exposes
+``params()`` / ``grads()`` as aligned lists of arrays so optimizers can
+update in place without knowing layer internals.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.nn.init import INITIALIZERS
+from repro.utils.rng import SeedLike, as_generator
+
+
+class Layer(ABC):
+    """Base layer: forward caches, backward returns input gradient."""
+
+    @abstractmethod
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        """Compute outputs; with ``train=True`` cache for backward."""
+
+    @abstractmethod
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Propagate ``dL/dout`` to ``dL/din``, accumulating param grads."""
+
+    def params(self) -> list[np.ndarray]:
+        """Trainable arrays (shared references, not copies)."""
+        return []
+
+    def grads(self) -> list[np.ndarray]:
+        """Gradient arrays aligned with :meth:`params`."""
+        return []
+
+    def zero_grad(self) -> None:
+        """Reset accumulated gradients."""
+        for g in self.grads():
+            g[...] = 0.0
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x @ W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        init: str = "he",
+        rng: SeedLike = None,
+    ):
+        if in_features < 1 or out_features < 1:
+            raise ValueError("feature counts must be positive")
+        try:
+            initializer = INITIALIZERS[init]
+        except KeyError:
+            raise ValueError(f"unknown initializer {init!r}") from None
+        gen = as_generator(rng)
+        self.w = initializer(in_features, out_features, gen)
+        self.b = np.zeros(out_features)
+        self.dw = np.zeros_like(self.w)
+        self.db = np.zeros_like(self.b)
+        self._x: np.ndarray | None = None
+
+    @property
+    def in_features(self) -> int:
+        """Input width."""
+        return self.w.shape[0]
+
+    @property
+    def out_features(self) -> int:
+        """Output width."""
+        return self.w.shape[1]
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if train:
+            self._x = x
+        return x @ self.w + self.b
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward before forward(train=True)")
+        g = np.asarray(grad_out, dtype=float)
+        self.dw += self._x.T @ g
+        self.db += g.sum(axis=0)
+        return g @ self.w.T
+
+    def params(self) -> list[np.ndarray]:
+        return [self.w, self.b]
+
+    def grads(self) -> list[np.ndarray]:
+        return [self.dw, self.db]
+
+    def __repr__(self) -> str:
+        return f"Dense({self.in_features}, {self.out_features})"
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if train:
+            self._mask = x > 0
+        return np.maximum(x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward before forward(train=True)")
+        return np.asarray(grad_out, dtype=float) * self._mask
+
+
+class Tanh(Layer):
+    """Hyperbolic-tangent activation."""
+
+    def __init__(self) -> None:
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        y = np.tanh(np.asarray(x, dtype=float))
+        if train:
+            self._y = y
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward before forward(train=True)")
+        return np.asarray(grad_out, dtype=float) * (1.0 - self._y**2)
+
+
+class Sigmoid(Layer):
+    """Logistic activation."""
+
+    def __init__(self) -> None:
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        # Branch on sign so the exponential argument is always <= 0
+        # (np.where would still evaluate the overflowing branch).
+        y = np.empty_like(x)
+        pos = x >= 0
+        y[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        y[~pos] = ex / (1.0 + ex)
+        if train:
+            self._y = y
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward before forward(train=True)")
+        return np.asarray(grad_out, dtype=float) * self._y * (1.0 - self._y)
+
+
+class Identity(Layer):
+    """Pass-through activation (linear output heads)."""
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        return np.asarray(x, dtype=float)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return np.asarray(grad_out, dtype=float)
+
+
+ACTIVATIONS = {
+    "relu": ReLU,
+    "tanh": Tanh,
+    "sigmoid": Sigmoid,
+    "linear": Identity,
+}

@@ -1,0 +1,78 @@
+"""Loss functions returning (value, gradient) pairs.
+
+The paper's Bellman residual is squared error; Huber is the DQN-Nature
+practical variant offered through config.  Both support per-sample
+weights, which the prioritized-replay extension needs for its
+importance-sampling correction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MSELoss:
+    """Mean squared error ``mean(w * (pred - target)^2)``."""
+
+    def __call__(
+        self,
+        pred: np.ndarray,
+        target: np.ndarray,
+        weights: np.ndarray | None = None,
+    ) -> tuple[float, np.ndarray]:
+        p = np.asarray(pred, dtype=float)
+        t = np.asarray(target, dtype=float)
+        if p.shape != t.shape:
+            raise ValueError(f"shape mismatch {p.shape} vs {t.shape}")
+        diff = p - t
+        w = np.ones_like(diff) if weights is None else np.broadcast_to(
+            np.asarray(weights, dtype=float), diff.shape
+        )
+        n = diff.size
+        value = float((w * diff**2).sum() / n)
+        grad = 2.0 * w * diff / n
+        return value, grad
+
+
+class HuberLoss:
+    """Huber loss with threshold ``delta`` (quadratic core, linear tails)."""
+
+    def __init__(self, delta: float = 1.0):
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.delta = float(delta)
+
+    def __call__(
+        self,
+        pred: np.ndarray,
+        target: np.ndarray,
+        weights: np.ndarray | None = None,
+    ) -> tuple[float, np.ndarray]:
+        p = np.asarray(pred, dtype=float)
+        t = np.asarray(target, dtype=float)
+        if p.shape != t.shape:
+            raise ValueError(f"shape mismatch {p.shape} vs {t.shape}")
+        diff = p - t
+        w = np.ones_like(diff) if weights is None else np.broadcast_to(
+            np.asarray(weights, dtype=float), diff.shape
+        )
+        n = diff.size
+        absd = np.abs(diff)
+        quad = absd <= self.delta
+        value_terms = np.where(
+            quad,
+            0.5 * diff**2,
+            self.delta * (absd - 0.5 * self.delta),
+        )
+        value = float((w * value_terms).sum() / n)
+        grad = np.where(quad, diff, self.delta * np.sign(diff)) * w / n
+        return value, grad
+
+
+def make_loss(name: str, **kwargs):
+    """Loss factory keyed by config string."""
+    if name == "mse":
+        return MSELoss()
+    if name == "huber":
+        return HuberLoss(**kwargs)
+    raise ValueError(f"unknown loss {name!r}")

@@ -1,0 +1,114 @@
+"""Sequential MLP container and the Table 1 network factory."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.layers import ACTIVATIONS, Dense, Layer
+from repro.utils.rng import SeedLike, as_generator
+
+
+class MLP:
+    """A sequential stack of layers with shared forward/backward plumbing."""
+
+    def __init__(self, layers: Sequence[Layer]):
+        if not layers:
+            raise ValueError("network needs at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        """Run the stack; 1-D inputs are treated as a single sample."""
+        h = np.asarray(x, dtype=float)
+        squeeze = h.ndim == 1
+        if squeeze:
+            h = h[None, :]
+        for layer in self.layers:
+            h = layer.forward(h, train=train)
+        return h[0] if squeeze else h
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Inference forward pass (no caches)."""
+        return self.forward(x, train=False)
+
+    __call__ = predict
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate from the output gradient; returns input gradient."""
+        g = np.asarray(grad_out, dtype=float)
+        if g.ndim == 1:
+            g = g[None, :]
+        for layer in reversed(self.layers):
+            g = layer.backward(g)
+        return g
+
+    def params(self) -> list[np.ndarray]:
+        """All trainable arrays, layer order."""
+        return [p for layer in self.layers for p in layer.params()]
+
+    def grads(self) -> list[np.ndarray]:
+        """All gradient arrays, aligned with :meth:`params`."""
+        return [g for layer in self.layers for g in layer.grads()]
+
+    def zero_grad(self) -> None:
+        """Reset all accumulated gradients."""
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def n_parameters(self) -> int:
+        """Total trainable scalar count."""
+        return sum(p.size for p in self.params())
+
+    def copy_weights_from(self, other: "MLP") -> None:
+        """In-place copy of ``other``'s parameters (target-network sync)."""
+        mine, theirs = self.params(), other.params()
+        if len(mine) != len(theirs):
+            raise ValueError("network architectures differ")
+        for dst, src in zip(mine, theirs):
+            if dst.shape != src.shape:
+                raise ValueError(
+                    f"parameter shape mismatch {dst.shape} vs {src.shape}"
+                )
+            dst[...] = src
+
+    def clone(self) -> "MLP":
+        """Structural copy with identical weights (fresh arrays)."""
+        import copy
+
+        twin = copy.deepcopy(self)
+        twin.zero_grad()
+        return twin
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(l) for l in self.layers)
+        return f"MLP([{inner}], params={self.n_parameters()})"
+
+
+def build_mlp(
+    input_dim: int,
+    hidden_sizes: Sequence[int],
+    output_dim: int,
+    *,
+    activation: str = "relu",
+    rng: SeedLike = None,
+) -> MLP:
+    """The paper's architecture: Dense->act per hidden layer, linear head.
+
+    Table 1 settings correspond to ``hidden_sizes=(135, 135)``,
+    ``activation="relu"``, ``output_dim=12``.
+    """
+    try:
+        act_cls = ACTIVATIONS[activation]
+    except KeyError:
+        raise ValueError(f"unknown activation {activation!r}") from None
+    init = "he" if activation == "relu" else "glorot"
+    gen = as_generator(rng)
+    layers: list[Layer] = []
+    prev = input_dim
+    for width in hidden_sizes:
+        layers.append(Dense(prev, width, init=init, rng=gen))
+        layers.append(act_cls())
+        prev = width
+    layers.append(Dense(prev, output_dim, init=init, rng=gen))
+    return MLP(layers)

@@ -1,0 +1,144 @@
+"""Parameter-update rules: SGD, RMSprop (the paper's choice), Adam.
+
+RMSprop follows the DQN-Nature formulation the paper cites [35]: a
+running average of squared gradients normalizes each step.  All
+optimizers update parameter arrays in place (they hold references from
+``MLP.params()``) and support global gradient-norm clipping.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class Optimizer(ABC):
+    """Base: binds (params, grads) references and steps in place."""
+
+    def __init__(
+        self,
+        params: list[np.ndarray],
+        grads: list[np.ndarray],
+        lr: float,
+        *,
+        max_grad_norm: float | None = None,
+    ):
+        if len(params) != len(grads):
+            raise ValueError("params and grads must be aligned")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.params = params
+        self.grads = grads
+        self.lr = float(lr)
+        self.max_grad_norm = max_grad_norm
+        self.steps = 0
+
+    def _clip(self) -> None:
+        if self.max_grad_norm is None:
+            return
+        total = np.sqrt(sum(float((g**2).sum()) for g in self.grads))
+        if total > self.max_grad_norm and total > 0:
+            scale = self.max_grad_norm / total
+            for g in self.grads:
+                g *= scale
+
+    def step(self) -> None:
+        """Apply one update from the current gradients."""
+        self._clip()
+        self.steps += 1
+        self._apply()
+
+    @abstractmethod
+    def _apply(self) -> None:
+        """Rule-specific in-place parameter update."""
+
+
+class SGD(Optimizer):
+    """Vanilla/momentum stochastic gradient descent."""
+
+    def __init__(self, params, grads, lr: float = 0.01, momentum: float = 0.0, **kw):
+        super().__init__(params, grads, lr, **kw)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must lie in [0, 1)")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p) for p in params]
+
+    def _apply(self) -> None:
+        for p, g, v in zip(self.params, self.grads, self._velocity):
+            if self.momentum:
+                v *= self.momentum
+                v -= self.lr * g
+                p += v
+            else:
+                p -= self.lr * g
+
+
+class RMSprop(Optimizer):
+    """RMSprop with the DQN-Nature hyperparameters as defaults."""
+
+    def __init__(
+        self,
+        params,
+        grads,
+        lr: float = 0.00025,
+        rho: float = 0.95,
+        eps: float = 0.01,
+        **kw,
+    ):
+        super().__init__(params, grads, lr, **kw)
+        if not 0.0 < rho < 1.0:
+            raise ValueError("rho must lie in (0, 1)")
+        self.rho = rho
+        self.eps = eps
+        self._sq = [np.zeros_like(p) for p in params]
+
+    def _apply(self) -> None:
+        for p, g, s in zip(self.params, self.grads, self._sq):
+            s *= self.rho
+            s += (1.0 - self.rho) * g * g
+            p -= self.lr * g / (np.sqrt(s) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (the paper's named alternative)."""
+
+    def __init__(
+        self,
+        params,
+        grads,
+        lr: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        **kw,
+    ):
+        super().__init__(params, grads, lr, **kw)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p) for p in params]
+        self._v = [np.zeros_like(p) for p in params]
+
+    def _apply(self) -> None:
+        t = self.steps
+        bc1 = 1.0 - self.beta1**t
+        bc2 = 1.0 - self.beta2**t
+        for p, g, m, v in zip(self.params, self.grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            p -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+
+def make_optimizer(
+    name: str, params, grads, lr: float, **kwargs
+) -> Optimizer:
+    """Optimizer factory keyed by config string."""
+    table = {"sgd": SGD, "rmsprop": RMSprop, "adam": Adam}
+    try:
+        cls = table[name]
+    except KeyError:
+        raise ValueError(f"unknown optimizer {name!r}") from None
+    return cls(params, grads, lr, **kwargs)

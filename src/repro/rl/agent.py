@@ -1,0 +1,347 @@
+"""The DQN agent: Q-network, frozen target, replay, epsilon-greedy.
+
+Implements the learner side of the paper's Algorithm 2, plus the
+Section 5 variants behind flags:
+
+- ``double=True`` -- Double DQN: the online network chooses the argmax
+  action, the target network evaluates it (van Hasselt et al.);
+- ``dueling=True`` -- dueling value/advantage head
+  (:mod:`repro.nn.dueling`);
+- ``prioritized=True`` -- prioritized replay with importance weights.
+
+The distributional (C51) variant has different output semantics and
+lives in :mod:`repro.rl.distributional`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import DQNDockingConfig
+from repro.nn.dueling import DuelingMLP
+from repro.nn.losses import make_loss
+from repro.nn.network import MLP, build_mlp
+from repro.nn.optimizers import make_optimizer
+from repro.rl.prioritized_replay import PrioritizedReplayMemory
+from repro.rl.replay import ReplayMemory
+from repro.rl.schedules import EpsilonGreedy, LinearSchedule
+from repro.utils.rng import RngFactory
+
+
+@dataclass(frozen=True)
+class AgentConfig:
+    """Learner hyperparameters (see Table 1 for the paper's values)."""
+
+    state_dim: int
+    n_actions: int
+    hidden_sizes: tuple[int, ...] = (135, 135)
+    activation: str = "relu"
+    gamma: float = 0.99
+    learning_rate: float = 0.00025
+    update_rule: str = "rmsprop"
+    loss: str = "mse"
+    minibatch_size: int = 32
+    replay_capacity: int = 400000
+    target_update_steps: int = 1000
+    epsilon_start: float = 1.0
+    epsilon_final: float = 0.05
+    epsilon_decay: float = 4.5e-5
+    initial_exploration_steps: int = 20000
+    double: bool = False
+    dueling: bool = False
+    prioritized: bool = False
+    #: Multi-step return horizon (1 = the paper's plain DQN; Rainbow
+    #: uses 3).
+    n_step: int = 1
+    #: NoisyNet exploration: replaces epsilon-greedy with learned
+    #: parameter noise (epsilon is forced to 0 when enabled).
+    noisy: bool = False
+    #: Polyak averaging coefficient for soft target updates; ``None``
+    #: keeps the paper's hard every-C-steps sync.  When set, the target
+    #: tracks ``tau * online + (1 - tau) * target`` after every learn
+    #: step and explicit syncs become no-ops by default.
+    target_update_tau: float | None = None
+    max_grad_norm: float | None = 10.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_step < 1:
+            raise ValueError("n_step must be >= 1")
+        if self.target_update_tau is not None and not (
+            0.0 < self.target_update_tau <= 1.0
+        ):
+            raise ValueError("target_update_tau must lie in (0, 1]")
+
+    @staticmethod
+    def from_run_config(
+        cfg: DQNDockingConfig, state_dim: int, n_actions: int
+    ) -> "AgentConfig":
+        """Derive the learner config from a run-level config."""
+        variant = cfg.variant
+        return AgentConfig(
+            state_dim=state_dim,
+            n_actions=n_actions,
+            hidden_sizes=(cfg.hidden_size,) * cfg.hidden_layers,
+            activation=cfg.activation,
+            gamma=cfg.gamma,
+            learning_rate=cfg.learning_rate,
+            update_rule=cfg.update_rule,
+            loss=cfg.loss,
+            minibatch_size=cfg.minibatch_size,
+            replay_capacity=cfg.replay_capacity,
+            target_update_steps=cfg.target_update_steps,
+            epsilon_start=cfg.epsilon_start,
+            epsilon_final=cfg.epsilon_final,
+            epsilon_decay=cfg.epsilon_decay,
+            initial_exploration_steps=cfg.initial_exploration_steps,
+            double=variant in ("ddqn", "dueling-ddqn", "rainbow"),
+            dueling=variant in ("dueling", "dueling-ddqn", "rainbow"),
+            prioritized=variant == "rainbow",
+            n_step=3 if variant == "rainbow" else 1,
+            seed=cfg.seed,
+        )
+
+
+@dataclass
+class LearnInfo:
+    """Diagnostics from one gradient step."""
+
+    loss: float
+    mean_q: float
+    max_q: float
+    mean_td_error: float
+
+
+class DQNAgent:
+    """Value-based agent with target network and experience replay.
+
+    ``network`` overrides the default MLP (e.g. with a CNN from
+    :func:`repro.nn.conv.build_cnn` for image states); it must accept
+    flat ``config.state_dim`` inputs and emit ``config.n_actions``
+    values.
+    """
+
+    def __init__(self, config: AgentConfig, *, network: MLP | None = None):
+        self.config = config
+        rngs = RngFactory(config.seed)
+        net_rng = rngs.get("network")
+        if config.noisy and config.dueling:
+            raise ValueError(
+                "noisy + dueling is not supported; pick one head type"
+            )
+        if network is not None:
+            self.q_net = network
+        elif config.noisy:
+            from repro.nn.noisy import build_noisy_mlp
+
+            self.q_net = build_noisy_mlp(
+                config.state_dim,
+                config.hidden_sizes,
+                config.n_actions,
+                rng=net_rng,
+            )
+        elif config.dueling:
+            self.q_net: MLP = DuelingMLP(
+                config.state_dim,
+                config.hidden_sizes,
+                config.n_actions,
+                activation=config.activation,
+                rng=net_rng,
+            )
+        else:
+            self.q_net = build_mlp(
+                config.state_dim,
+                config.hidden_sizes,
+                config.n_actions,
+                activation=config.activation,
+                rng=net_rng,
+            )
+        self.target_net = self.q_net.clone()
+        self.optimizer = make_optimizer(
+            config.update_rule,
+            self.q_net.params(),
+            self.q_net.grads(),
+            config.learning_rate,
+            max_grad_norm=config.max_grad_norm,
+        )
+        self.loss_fn = make_loss(config.loss)
+        if config.prioritized:
+            self.replay: ReplayMemory = PrioritizedReplayMemory(
+                config.replay_capacity,
+                config.state_dim,
+                seed=rngs.get("replay"),
+            )
+        else:
+            self.replay = ReplayMemory(
+                config.replay_capacity,
+                config.state_dim,
+                seed=rngs.get("replay"),
+            )
+        if config.noisy:
+            # NoisyNet replaces epsilon-greedy: exploration comes from
+            # the learned parameter noise, so epsilon stays at zero.
+            from repro.rl.schedules import ConstantSchedule
+
+            self.policy = EpsilonGreedy(
+                ConstantSchedule(0.0),
+                config.n_actions,
+                exploration_steps=0,
+                rng=rngs.get("policy"),
+            )
+        else:
+            self.policy = EpsilonGreedy(
+                LinearSchedule(
+                    config.epsilon_start,
+                    config.epsilon_final,
+                    config.epsilon_decay,
+                ),
+                config.n_actions,
+                exploration_steps=config.initial_exploration_steps,
+                rng=rngs.get("policy"),
+            )
+        if config.n_step > 1:
+            from repro.rl.nstep import NStepTransitionBuffer
+
+            self._nstep: NStepTransitionBuffer | None = (
+                NStepTransitionBuffer(config.n_step, config.gamma)
+            )
+        else:
+            self._nstep = None
+        self.learn_steps = 0
+        self.target_syncs = 0
+
+    # -- acting ----------------------------------------------------------
+    def predict_q(self, state: np.ndarray) -> np.ndarray:
+        """Q-values of one state from the online network."""
+        return self.q_net.predict(np.asarray(state, dtype=float))
+
+    def act(self, state: np.ndarray, global_step: int) -> tuple[int, np.ndarray]:
+        """Epsilon-greedy (or noisy) action; returns (action, q_values).
+
+        Q-values are always computed (even on random actions) because the
+        Figure 4 metric averages ``max_a Q(s_t, a)`` over *every*
+        time-step.  With NoisyNet exploration, fresh noise is drawn per
+        acting step, which is where the exploration comes from.
+        """
+        if self.config.noisy:
+            from repro.nn.noisy import resample_network_noise
+
+            resample_network_noise(self.q_net)
+        q = self.predict_q(state)
+        return self.policy.select(q, global_step), q
+
+    def greedy_action(self, state: np.ndarray) -> int:
+        """Pure exploitation (evaluation rollouts; noise frozen at 0)."""
+        if self.config.noisy:
+            from repro.nn.noisy import zero_network_noise
+
+            zero_network_noise(self.q_net)
+        return int(np.argmax(self.predict_q(state)))
+
+    # -- remembering -------------------------------------------------------
+    def remember(
+        self,
+        state: np.ndarray,
+        action: int,
+        reward: float,
+        next_state: np.ndarray,
+        terminal: bool,
+    ) -> None:
+        """Store a transition (accumulated to n steps when configured)."""
+        if self._nstep is None:
+            self.replay.push(
+                state, action, reward, next_state, terminal,
+                discount=self.config.gamma,
+            )
+            return
+        for t in self._nstep.push(state, action, reward, next_state, terminal):
+            self.replay.push(
+                t.state, t.action, t.reward, t.next_state, t.terminal,
+                discount=t.discount,
+            )
+
+    def flush_episode(self) -> None:
+        """Drain the n-step tail at an episode boundary (trainer hook)."""
+        if self._nstep is None:
+            return
+        for t in self._nstep.flush():
+            self.replay.push(
+                t.state, t.action, t.reward, t.next_state, t.terminal,
+                discount=t.discount,
+            )
+
+    # -- learning -------------------------------------------------------------
+    def can_learn(self) -> bool:
+        """True once the memory holds at least one minibatch."""
+        return len(self.replay) >= self.config.minibatch_size
+
+    def learn(self) -> LearnInfo:
+        """One Algorithm 2 gradient step on a sampled minibatch."""
+        cfg = self.config
+        if cfg.noisy:
+            # Independent noise draws for the online and target networks
+            # per update (Fortunato et al., section 3).
+            from repro.nn.noisy import resample_network_noise
+
+            resample_network_noise(self.q_net)
+            resample_network_noise(self.target_net)
+        batch = self.replay.sample(cfg.minibatch_size)
+        b = len(batch)
+
+        q_next_target = self.target_net.predict(batch.next_states)  # (b, k)
+        if cfg.double:
+            q_next_online = self.q_net.predict(batch.next_states)
+            best_actions = np.argmax(q_next_online, axis=1)
+            next_values = q_next_target[np.arange(b), best_actions]
+        else:
+            next_values = q_next_target.max(axis=1)
+        # Per-transition bootstrap discount: gamma for 1-step pushes,
+        # gamma^h for h-step accumulated transitions.
+        targets = batch.rewards + batch.discounts * next_values * (
+            ~batch.terminals
+        )
+
+        self.q_net.zero_grad()
+        preds = self.q_net.forward(batch.states, train=True)  # (b, k)
+        pred_chosen = preds[np.arange(b), batch.actions]
+        td_errors = pred_chosen - targets
+        loss_value, grad_chosen = self.loss_fn(
+            pred_chosen, targets, weights=batch.weights
+        )
+        grad_out = np.zeros_like(preds)
+        grad_out[np.arange(b), batch.actions] = grad_chosen
+        self.q_net.backward(grad_out)
+        self.optimizer.step()
+        self.learn_steps += 1
+
+        if isinstance(self.replay, PrioritizedReplayMemory):
+            self.replay.update_priorities(batch.indices, td_errors)
+
+        if self.config.target_update_tau is not None:
+            self._soft_update(self.config.target_update_tau)
+
+        return LearnInfo(
+            loss=float(loss_value),
+            mean_q=float(preds.mean()),
+            max_q=float(preds.max(axis=1).mean()),
+            mean_td_error=float(np.abs(td_errors).mean()),
+        )
+
+    def _soft_update(self, tau: float) -> None:
+        """Polyak averaging: target <- tau * online + (1 - tau) * target."""
+        for dst, src in zip(self.target_net.params(), self.q_net.params()):
+            dst *= 1.0 - tau
+            dst += tau * src
+
+    def sync_target(self) -> None:
+        """Copy online weights into the frozen target network (hard sync).
+
+        With ``target_update_tau`` set, soft updates already run after
+        every learn step; set the trainer's ``target_update_steps`` high
+        so periodic hard syncs do not override the Polyak track.
+        """
+        self.target_net.copy_weights_from(self.q_net)
+        self.target_syncs += 1

@@ -1,0 +1,105 @@
+"""N-step return accumulation (Rainbow component; paper reference [17]).
+
+The paper's Section 5 points at "new versions of this algorithm ...
+(Rainbow)"; multi-step targets are one of Rainbow's core components.
+:class:`NStepTransitionBuffer` turns a stream of 1-step transitions into
+n-step ones::
+
+    (s_t, a_t, sum_{k<n} gamma^k r_{t+k}, s_{t+n}, terminal)
+
+so the agent bootstraps with ``gamma^n``.  Truncated tails (episode ends
+before n steps accumulate) are emitted with their actual horizon; the
+agent must therefore receive the *effective* discount alongside each
+transition -- the buffer returns it explicitly rather than assuming all
+transitions span n steps.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NStepTransition:
+    """One accumulated transition with its effective bootstrap discount."""
+
+    state: np.ndarray
+    action: int
+    reward: float
+    next_state: np.ndarray
+    terminal: bool
+    #: gamma ** (actual horizon) -- multiply the bootstrap term by this.
+    discount: float
+
+
+class NStepTransitionBuffer:
+    """Sliding-window n-step accumulator.
+
+    ``push`` returns the transitions that became complete (possibly
+    none); ``flush`` drains the remaining tail at an episode boundary --
+    the trainer must call it on episode end or truncated windows would
+    leak across episodes.
+    """
+
+    def __init__(self, n: int, gamma: float):
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if not 0.0 <= gamma <= 1.0:
+            raise ValueError("gamma must lie in [0, 1]")
+        self.n = int(n)
+        self.gamma = float(gamma)
+        self._window: deque = deque()
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    def push(
+        self,
+        state: np.ndarray,
+        action: int,
+        reward: float,
+        next_state: np.ndarray,
+        terminal: bool,
+    ) -> list[NStepTransition]:
+        """Add a 1-step transition; return completed n-step transitions."""
+        self._window.append((state, action, reward, next_state, terminal))
+        out: list[NStepTransition] = []
+        if terminal:
+            # Every suffix of the window terminates here: emit them all.
+            out.extend(self._drain_all())
+        elif len(self._window) >= self.n:
+            out.append(self._emit(len(self._window)))
+            self._window.popleft()
+        return out
+
+    def flush(self) -> list[NStepTransition]:
+        """Drain the tail at a (possibly truncated) episode boundary."""
+        return self._drain_all()
+
+    def _drain_all(self) -> list[NStepTransition]:
+        out = []
+        while self._window:
+            out.append(self._emit(len(self._window)))
+            self._window.popleft()
+        return out
+
+    def _emit(self, horizon: int) -> NStepTransition:
+        """Accumulate the first ``horizon`` entries of the window."""
+        horizon = min(horizon, self.n, len(self._window))
+        reward = 0.0
+        for k in range(horizon):
+            reward += (self.gamma**k) * self._window[k][2]
+        s0, a0 = self._window[0][0], self._window[0][1]
+        s_last = self._window[horizon - 1][3]
+        terminal = bool(self._window[horizon - 1][4])
+        return NStepTransition(
+            state=s0,
+            action=a0,
+            reward=reward,
+            next_state=s_last,
+            terminal=terminal,
+            discount=self.gamma**horizon,
+        )

@@ -1,0 +1,147 @@
+"""Proportional prioritized experience replay (Schaul et al. 2016).
+
+One of the "new versions ... with their own pros and cons" the paper's
+Section 5 proposes exploring.  Transitions are sampled with probability
+proportional to ``(|TD error| + eps)^alpha``; an importance weight
+``(N * P(i))^-beta`` (normalized by the max) corrects the induced bias.
+Priorities live in a binary-indexed :class:`SumTree` for O(log n)
+sampling and updates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rl.replay import Batch, ReplayMemory
+from repro.utils.rng import SeedLike
+
+
+class SumTree:
+    """Complete binary tree whose internal nodes store subtree sums.
+
+    Leaves hold priorities; ``find(prefix)`` locates the leaf containing a
+    cumulative-sum offset, giving proportional sampling by drawing
+    uniform offsets in ``[0, total)``.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._tree = np.zeros(2 * self.capacity, dtype=np.float64)
+
+    def update(self, index: int, priority: float) -> None:
+        """Set leaf ``index`` to ``priority`` and refresh ancestors."""
+        if not 0 <= index < self.capacity:
+            raise IndexError(f"leaf {index} out of range")
+        if priority < 0:
+            raise ValueError("priority must be non-negative")
+        node = index + self.capacity
+        delta = priority - self._tree[node]
+        while node >= 1:
+            self._tree[node] += delta
+            node //= 2
+
+    def get(self, index: int) -> float:
+        """Priority at leaf ``index``."""
+        return float(self._tree[index + self.capacity])
+
+    @property
+    def total(self) -> float:
+        """Sum of all priorities."""
+        return float(self._tree[1])
+
+    def find(self, prefix: float) -> int:
+        """Leaf whose cumulative range contains ``prefix``."""
+        node = 1
+        while node < self.capacity:
+            left = 2 * node
+            if prefix < self._tree[left]:
+                node = left
+            else:
+                prefix -= self._tree[left]
+                node = left + 1
+        return node - self.capacity
+
+    def max_priority(self) -> float:
+        """Largest leaf priority (0 when empty)."""
+        return float(self._tree[self.capacity :].max())
+
+
+class PrioritizedReplayMemory(ReplayMemory):
+    """Replay memory with proportional prioritized sampling."""
+
+    def __init__(
+        self,
+        capacity: int,
+        state_dim: int,
+        *,
+        alpha: float = 0.6,
+        beta: float = 0.4,
+        beta_final: float = 1.0,
+        beta_anneal_steps: int = 100000,
+        priority_eps: float = 1e-3,
+        seed: SeedLike = None,
+        dtype=np.float32,
+    ):
+        super().__init__(capacity, state_dim, seed=seed, dtype=dtype)
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError("alpha must lie in [0, 1]")
+        self.alpha = alpha
+        self.beta0 = beta
+        self.beta_final = beta_final
+        self.beta_anneal_steps = max(1, int(beta_anneal_steps))
+        self.priority_eps = priority_eps
+        self._tree = SumTree(capacity)
+        self._samples_drawn = 0
+
+    def push(
+        self, state, action, reward, next_state, terminal, discount: float = 1.0
+    ) -> int:
+        """Store a transition at maximal priority (sample-at-least-once)."""
+        i = super().push(state, action, reward, next_state, terminal, discount)
+        p_max = self._tree.max_priority()
+        self._tree.update(i, p_max if p_max > 0 else 1.0)
+        return i
+
+    @property
+    def beta(self) -> float:
+        """Current importance exponent (annealed toward ``beta_final``)."""
+        frac = min(1.0, self._samples_drawn / self.beta_anneal_steps)
+        return self.beta0 + (self.beta_final - self.beta0) * frac
+
+    def sample(self, batch_size: int) -> Batch:
+        """Proportional sampling with importance weights."""
+        if len(self) == 0:
+            raise ValueError("cannot sample from an empty memory")
+        total = self._tree.total
+        if total <= 0:  # all priorities zero: degenerate to uniform
+            return super().sample(batch_size)
+        # Stratified offsets reduce sample variance.
+        bounds = np.linspace(0.0, total, batch_size + 1)
+        offsets = self._rng.uniform(bounds[:-1], bounds[1:])
+        idx = np.array([self._tree.find(o) for o in offsets], dtype=np.int64)
+        idx = np.minimum(idx, len(self) - 1)
+        probs = np.array([self._tree.get(i) for i in idx]) / total
+        beta = self.beta
+        self._samples_drawn += batch_size
+        weights = (len(self) * np.maximum(probs, 1e-12)) ** (-beta)
+        weights /= weights.max()
+        return Batch(
+            states=self._states[idx].astype(np.float64),
+            actions=self._actions[idx].copy(),
+            rewards=self._rewards[idx].copy(),
+            next_states=self._next_states[idx].astype(np.float64),
+            terminals=self._terminals[idx].copy(),
+            indices=idx,
+            weights=weights,
+            discounts=self._discounts[idx].copy(),
+        )
+
+    def update_priorities(
+        self, indices: np.ndarray, td_errors: np.ndarray
+    ) -> None:
+        """Refresh priorities from new TD errors after a learning step."""
+        pris = (np.abs(td_errors) + self.priority_eps) ** self.alpha
+        for i, p in zip(np.asarray(indices), pris):
+            self._tree.update(int(i), float(p))

@@ -1,0 +1,145 @@
+"""Uniform experience replay (Lin 1993; Mnih et al. 2015).
+
+The memory stores transition tuples ``(s, a, r, s', terminal)`` in
+preallocated ring-buffer arrays -- at the paper's scale (400k memories of
+16,599 floats) object-per-transition storage would be hopeless, so states
+live in one float32 matrix and sampling is pure fancy indexing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One stored transition (returned by single-item access)."""
+
+    state: np.ndarray
+    action: int
+    reward: float
+    next_state: np.ndarray
+    terminal: bool
+
+
+@dataclass(frozen=True)
+class Batch:
+    """A sampled minibatch as parallel arrays."""
+
+    states: np.ndarray
+    actions: np.ndarray
+    rewards: np.ndarray
+    next_states: np.ndarray
+    terminals: np.ndarray
+    #: Buffer slots of each sample (prioritized replay updates these).
+    indices: np.ndarray
+    #: Importance-sampling weights (all ones for uniform replay).
+    weights: np.ndarray
+    #: Per-transition bootstrap discounts (gamma for 1-step transitions,
+    #: gamma^h for h-step accumulated ones).
+    discounts: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+
+class ReplayMemory:
+    """Fixed-capacity ring buffer with uniform sampling."""
+
+    def __init__(
+        self,
+        capacity: int,
+        state_dim: int,
+        *,
+        seed: SeedLike = None,
+        dtype=np.float32,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if state_dim < 1:
+            raise ValueError("state_dim must be >= 1")
+        self.capacity = int(capacity)
+        self.state_dim = int(state_dim)
+        self._states = np.zeros((capacity, state_dim), dtype=dtype)
+        self._next_states = np.zeros((capacity, state_dim), dtype=dtype)
+        self._actions = np.zeros(capacity, dtype=np.int64)
+        self._rewards = np.zeros(capacity, dtype=np.float64)
+        self._terminals = np.zeros(capacity, dtype=bool)
+        self._discounts = np.ones(capacity, dtype=np.float64)
+        self._rng = as_generator(seed)
+        self._size = 0
+        self._cursor = 0
+
+    def push(
+        self,
+        state: np.ndarray,
+        action: int,
+        reward: float,
+        next_state: np.ndarray,
+        terminal: bool,
+        discount: float = 1.0,
+    ) -> int:
+        """Store one transition; returns the slot index used.
+
+        ``discount`` is the bootstrap factor for this transition's
+        target (the agent passes gamma, or gamma^h for n-step).
+        """
+        i = self._cursor
+        self._states[i] = state
+        self._actions[i] = action
+        self._rewards[i] = reward
+        self._next_states[i] = next_state
+        self._terminals[i] = terminal
+        self._discounts[i] = discount
+        self._cursor = (i + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+        return i
+
+    def sample(self, batch_size: int) -> Batch:
+        """Uniformly sample ``batch_size`` transitions (with replacement)."""
+        if self._size == 0:
+            raise ValueError("cannot sample from an empty memory")
+        idx = self._rng.integers(0, self._size, size=batch_size)
+        return Batch(
+            states=self._states[idx].astype(np.float64),
+            actions=self._actions[idx].copy(),
+            rewards=self._rewards[idx].copy(),
+            next_states=self._next_states[idx].astype(np.float64),
+            terminals=self._terminals[idx].copy(),
+            indices=idx,
+            weights=np.ones(batch_size),
+            discounts=self._discounts[idx].copy(),
+        )
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __getitem__(self, index: int) -> Transition:
+        if not 0 <= index < self._size:
+            raise IndexError(f"index {index} out of range 0..{self._size - 1}")
+        return Transition(
+            state=self._states[index].astype(np.float64),
+            action=int(self._actions[index]),
+            reward=float(self._rewards[index]),
+            next_state=self._next_states[index].astype(np.float64),
+            terminal=bool(self._terminals[index]),
+        )
+
+    @property
+    def is_full(self) -> bool:
+        """True once the ring has wrapped."""
+        return self._size == self.capacity
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the stored arrays."""
+        return (
+            self._states.nbytes
+            + self._next_states.nbytes
+            + self._actions.nbytes
+            + self._rewards.nbytes
+            + self._terminals.nbytes
+        )

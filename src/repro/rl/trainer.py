@@ -1,0 +1,265 @@
+"""The training loop of Algorithm 2 with Figure 4 instrumentation.
+
+The trainer owns the episode loop; the agent owns learning; the
+environment owns docking physics and game rules.  Metrics follow the
+paper's protocol: "track the average maximum predicted Q for each
+time-step" once learning has started, aggregated per episode -- exactly
+the series plotted in Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.utils.ascii_plot import ascii_line_plot, sparkline
+from repro.utils.timers import Timer
+
+
+class SupportsEnv(Protocol):
+    """Environment interface the trainer drives (gym-flavoured)."""
+
+    def reset(self) -> np.ndarray: ...
+
+    def step(self, action: int) -> tuple[np.ndarray, float, bool, dict]: ...
+
+
+@dataclass(frozen=True)
+class EpisodeStats:
+    """Per-episode aggregates."""
+
+    episode: int
+    steps: int
+    total_reward: float
+    #: Mean over the episode's time-steps of ``max_a Q(s_t, a)`` -- the
+    #: Figure 4 quantity.
+    avg_max_q: float
+    best_score: float
+    final_score: float
+    epsilon: float
+    mean_loss: float
+    #: True if any learning update ran during this episode.
+    learning_active: bool
+    termination: str
+    #: Closest approach to the crystallographic pose (RMSD, angstrom);
+    #: NaN when the environment does not report it.
+    min_crystal_rmsd: float = float("nan")
+
+
+@dataclass
+class TrainingHistory:
+    """Full run record with the figure-series accessors."""
+
+    episodes: list[EpisodeStats] = field(default_factory=list)
+    total_steps: int = 0
+    wall_seconds: float = 0.0
+    timer_report: str = ""
+
+    def figure4_series(self) -> np.ndarray:
+        """Average max predicted Q per episode, from the first episode
+        where learning was active (the paper's measurement window)."""
+        active = [e.avg_max_q for e in self.episodes if e.learning_active]
+        return np.asarray(active)
+
+    def best_score_series(self) -> np.ndarray:
+        """Best engine score reached in each episode."""
+        return np.asarray([e.best_score for e in self.episodes])
+
+    def reward_series(self) -> np.ndarray:
+        """Total clipped reward per episode."""
+        return np.asarray([e.total_reward for e in self.episodes])
+
+    def rmsd_series(self) -> np.ndarray:
+        """Minimum crystal RMSD per episode (NaN where unavailable)."""
+        return np.asarray([e.min_crystal_rmsd for e in self.episodes])
+
+    def docking_success_rate(self, threshold: float = 2.0) -> float:
+        """Fraction of episodes whose closest approach to the crystal
+        pose was within ``threshold`` angstrom RMSD -- the standard
+        docking success criterion ("discovering the crystallographic
+        solution" in the paper's terms)."""
+        rmsd = self.rmsd_series()
+        valid = np.isfinite(rmsd)
+        if not valid.any():
+            return 0.0
+        return float((rmsd[valid] <= threshold).mean())
+
+    @property
+    def best_score(self) -> float:
+        """Best engine score reached across the entire run."""
+        if not self.episodes:
+            return float("-inf")
+        return max(e.best_score for e in self.episodes)
+
+    def summary(self) -> str:
+        """Multi-line human-readable run report (with ASCII Figure 4)."""
+        if not self.episodes:
+            return "(no episodes)"
+        q = self.figure4_series()
+        lines = [
+            f"episodes: {len(self.episodes)}   steps: {self.total_steps}"
+            f"   wall: {self.wall_seconds:.1f}s",
+            f"best score: {self.best_score:.2f}   "
+            f"final epsilon: {self.episodes[-1].epsilon:.3f}",
+        ]
+        if q.size:
+            lines.append(
+                f"avg max Q: first {q[0]:.3f}  peak {q.max():.3f} "
+                f"(episode {int(np.argmax(q))} of measured)  "
+                f"last {q[-1]:.3f}"
+            )
+            lines.append("Q curve:     " + sparkline(q))
+        lines.append("best scores: " + sparkline(self.best_score_series()))
+        return "\n".join(lines)
+
+    def figure4_plot(self) -> str:
+        """ASCII rendering of the Figure 4 training curve."""
+        return ascii_line_plot(
+            self.figure4_series(),
+            title="Figure 4: average max predicted Q per episode",
+        )
+
+
+class Trainer:
+    """Drives Algorithm 2 against any agent/environment pair.
+
+    Parameters
+    ----------
+    env / agent:
+        See :class:`SupportsEnv` and :class:`repro.rl.agent.DQNAgent`
+        (the distributional agent satisfies the same protocol).
+    episodes / max_steps_per_episode:
+        Table 1's M and T.
+    learning_start:
+        Global steps of pure experience collection before updates.
+    target_update_steps:
+        Table 1's C -- target sync period in *global environment steps*.
+    train_interval:
+        Gradient steps every this many environment steps.
+    """
+
+    def __init__(
+        self,
+        env: SupportsEnv,
+        agent,
+        *,
+        episodes: int,
+        max_steps_per_episode: int,
+        learning_start: int = 0,
+        target_update_steps: int = 1000,
+        train_interval: int = 1,
+        on_episode_end=None,
+    ):
+        if episodes < 1 or max_steps_per_episode < 1:
+            raise ValueError("episodes and max_steps must be >= 1")
+        self.env = env
+        self.agent = agent
+        self.episodes = int(episodes)
+        self.max_steps = int(max_steps_per_episode)
+        self.learning_start = int(learning_start)
+        self.target_update_steps = max(1, int(target_update_steps))
+        self.train_interval = max(1, int(train_interval))
+        self.on_episode_end = on_episode_end
+
+    def run(self) -> TrainingHistory:
+        """Execute the full training run."""
+        timer = Timer()
+        history = TrainingHistory()
+        global_step = 0
+        import time
+
+        t0 = time.perf_counter()
+        for ep in range(self.episodes):
+            state = self.env.reset()
+            max_qs: list[float] = []
+            losses: list[float] = []
+            total_reward = 0.0
+            best_score = float("-inf")
+            final_score = float("nan")
+            min_rmsd = float("nan")
+            termination = "time-limit"
+            learning_active = False
+            steps = 0
+            for _t in range(self.max_steps):
+                with timer.section("act"):
+                    action, q = self.agent.act(state, global_step)
+                max_qs.append(float(np.max(q)))
+                with timer.section("env-step"):
+                    next_state, reward, done, info = self.env.step(action)
+                self.agent.remember(state, action, reward, next_state, done)
+                state = next_state
+                total_reward += reward
+                score = info.get("score", float("nan"))
+                if np.isfinite(score):
+                    best_score = max(best_score, score)
+                    final_score = score
+                rmsd = info.get("crystal_rmsd", float("nan"))
+                if np.isfinite(rmsd):
+                    min_rmsd = rmsd if np.isnan(min_rmsd) else min(
+                        min_rmsd, rmsd
+                    )
+                global_step += 1
+                steps += 1
+                if (
+                    global_step >= self.learning_start
+                    and self.agent.can_learn()
+                    and global_step % self.train_interval == 0
+                ):
+                    with timer.section("learn"):
+                        learn_info = self.agent.learn()
+                    losses.append(learn_info.loss)
+                    learning_active = True
+                if global_step % self.target_update_steps == 0:
+                    self.agent.sync_target()
+                if done:
+                    termination = info.get("termination", "terminal")
+                    break
+            # n-step agents must not carry partial windows across episodes.
+            flush = getattr(self.agent, "flush_episode", None)
+            if flush is not None:
+                flush()
+            stats = EpisodeStats(
+                episode=ep,
+                steps=steps,
+                total_reward=total_reward,
+                avg_max_q=float(np.mean(max_qs)) if max_qs else 0.0,
+                best_score=best_score,
+                final_score=final_score,
+                epsilon=self.agent.policy.epsilon(global_step),
+                mean_loss=float(np.mean(losses)) if losses else float("nan"),
+                learning_active=learning_active,
+                termination=termination,
+                min_crystal_rmsd=min_rmsd,
+            )
+            history.episodes.append(stats)
+            if self.on_episode_end is not None:
+                self.on_episode_end(stats)
+        history.total_steps = global_step
+        history.wall_seconds = time.perf_counter() - t0
+        history.timer_report = timer.report()
+        return history
+
+
+def greedy_rollout(
+    env: SupportsEnv, agent, max_steps: int
+) -> tuple[float, list[float]]:
+    """Deploy a trained agent greedily; returns (best score, score trace).
+
+    This is the paper's end goal: once the NN is trained, docking is a
+    cheap greedy walk instead of a costly stochastic search.
+    """
+    state = env.reset()
+    scores: list[float] = []
+    best = float("-inf")
+    for _ in range(max_steps):
+        action = agent.greedy_action(state)
+        state, _reward, done, info = env.step(action)
+        s = info.get("score", float("nan"))
+        if np.isfinite(s):
+            scores.append(s)
+            best = max(best, s)
+        if done:
+            break
+    return best, scores

@@ -1,0 +1,132 @@
+"""Batched-acting trainer over a :class:`SyncVectorEnv`.
+
+Algorithm 2 with the act step vectorized: one Q-network forward serves
+all N environments per step.  Learning stays identical (one gradient
+step per ``train_interval`` *environment* transitions, same replay
+semantics), so results are comparable to the sequential trainer at equal
+transition counts while the wall-clock amortizes the network cost.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.env.vectorized import SyncVectorEnv
+from repro.utils.timers import Timer
+
+
+@dataclass
+class VectorRunStats:
+    """Aggregate results of a vectorized collection run."""
+
+    total_steps: int
+    episodes_completed: int
+    best_score: float
+    mean_reward: float
+    wall_seconds: float
+    steps_per_second: float
+    timer_report: str
+
+
+class VectorTrainer:
+    """Collect transitions from N envs with batched action selection."""
+
+    def __init__(
+        self,
+        venv: SyncVectorEnv,
+        agent,
+        *,
+        learning_start: int = 0,
+        target_update_steps: int = 1000,
+        train_interval: int = 1,
+    ):
+        self.venv = venv
+        self.agent = agent
+        self.learning_start = int(learning_start)
+        self.target_update_steps = max(1, int(target_update_steps))
+        self.train_interval = max(1, int(train_interval))
+
+    def _select_actions(
+        self, states: np.ndarray, global_step: int
+    ) -> np.ndarray:
+        """Batched epsilon-greedy: one forward for all N states."""
+        q = self.agent.q_net.predict(states)  # (n, actions)
+        greedy = np.argmax(q, axis=1)
+        policy = self.agent.policy
+        eps = policy.epsilon(global_step)
+        n = states.shape[0]
+        random_mask = policy.rng.uniform(size=n) < eps
+        random_actions = policy.rng.integers(policy.n_actions, size=n)
+        return np.where(random_mask, random_actions, greedy)
+
+    def run(self, total_steps: int) -> VectorRunStats:
+        """Collect ``total_steps`` transitions (summed across envs)."""
+        if total_steps < 1:
+            raise ValueError("total_steps must be >= 1")
+        timer = Timer()
+        t0 = time.perf_counter()
+        states = self.venv.reset()
+        global_step = 0
+        episodes = 0
+        best_score = float("-inf")
+        reward_sum = 0.0
+        n = self.venv.n_envs
+        while global_step < total_steps:
+            with timer.section("act"):
+                actions = self._select_actions(states, global_step)
+            with timer.section("env-step"):
+                next_states, rewards, dones, infos = self.venv.step(actions)
+            with timer.section("remember"):
+                for i in range(n):
+                    true_next = (
+                        infos[i]["terminal_state"]
+                        if dones[i]
+                        else next_states[i]
+                    )
+                    self.agent.remember(
+                        states[i],
+                        int(actions[i]),
+                        float(rewards[i]),
+                        true_next,
+                        bool(dones[i]),
+                    )
+                    score = infos[i].get("score", float("nan"))
+                    if np.isfinite(score):
+                        best_score = max(best_score, score)
+            episodes += int(dones.sum())
+            reward_sum += float(rewards.sum())
+            states = next_states
+            prev_step = global_step
+            global_step += n
+            if (
+                global_step >= self.learning_start
+                and self.agent.can_learn()
+            ):
+                # One learn per train_interval transitions, matching the
+                # sequential trainer's update density.
+                updates = (
+                    global_step // self.train_interval
+                    - prev_step // self.train_interval
+                )
+                for _ in range(updates):
+                    with timer.section("learn"):
+                        self.agent.learn()
+            syncs = (
+                global_step // self.target_update_steps
+                - prev_step // self.target_update_steps
+            )
+            for _ in range(syncs):
+                self.agent.sync_target()
+        wall = time.perf_counter() - t0
+        return VectorRunStats(
+            total_steps=global_step,
+            episodes_completed=episodes,
+            best_score=best_score,
+            mean_reward=reward_sum / max(global_step, 1),
+            wall_seconds=wall,
+            steps_per_second=global_step / max(wall, 1e-9),
+            timer_report=timer.report(),
+        )

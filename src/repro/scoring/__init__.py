@@ -1,0 +1,54 @@
+"""The METADOCK scoring function (paper Equation 1) and accelerators.
+
+Three physical terms, each its own module so the benches can cost them
+separately:
+
+- :mod:`repro.scoring.electrostatics` -- Coulomb term ``k q_i q_j / r``;
+- :mod:`repro.scoring.lennard_jones` -- 12-6 van-der-Waals (MMFF94-style);
+- :mod:`repro.scoring.hbond` -- 12-10 hydrogen-bond term with the
+  ``cos/sin`` angular mixing of Eq. 1.
+
+:mod:`repro.scoring.composite` combines them into the METADOCK score
+(*negated* total energy, so clashes are huge negatives and good poses
+approach the paper's "+500 at most").  :mod:`repro.scoring.reference` is
+the paper's sequential Algorithm 1, kept as the parity oracle and the
+baseline for the vectorization speedup bench.  :mod:`repro.scoring.
+neighborlist` and :mod:`repro.scoring.grid` are the cutoff and
+precomputed-grid accelerations (BINDSURF-style).
+"""
+
+from repro.scoring.composite import (
+    ScoreBreakdown,
+    interaction_energy,
+    interaction_score,
+    score_pose_batch,
+)
+from repro.scoring.electrostatics import electrostatic_energy
+from repro.scoring.lennard_jones import lennard_jones_energy
+from repro.scoring.hbond import hbond_energy
+from repro.scoring.neighborlist import CellList
+from repro.scoring.grid import PotentialGrid
+from repro.scoring.reference import sequential_score_algorithm1
+from repro.scoring.scorers import (
+    CutoffScorer,
+    ExactScorer,
+    GridScorer,
+    make_scorer,
+)
+
+__all__ = [
+    "ScoreBreakdown",
+    "interaction_energy",
+    "interaction_score",
+    "score_pose_batch",
+    "electrostatic_energy",
+    "lennard_jones_energy",
+    "hbond_energy",
+    "CellList",
+    "PotentialGrid",
+    "sequential_score_algorithm1",
+    "ExactScorer",
+    "CutoffScorer",
+    "GridScorer",
+    "make_scorer",
+]

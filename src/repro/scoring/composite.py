@@ -1,0 +1,182 @@
+"""The composite METADOCK score (paper Equation 1).
+
+Sign convention
+---------------
+Equation 1 sums interaction *energies* (kcal/mol; lower = better).  The
+paper's narrative, however, describes a *score* that "goes from big
+negative numbers (e.g. -4.5e+21) to 500 at most" and "drops sharply" on
+electrostatic or steric clashes -- exactly the **negated** energy.  We
+therefore expose both: :func:`interaction_energy` (physics sign) and
+:func:`interaction_score` ``= -energy`` (the scalar METADOCK reports and
+the RL reward derives from).  With distances clamped at ``MIN_DISTANCE =
+0.05 A``, a fully overlapping atom pair contributes ``~(3.4/0.05)^12 ~
+1e22`` -- reproducing the paper's quoted magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chem.molecule import Molecule
+from repro.scoring import electrostatics as elec
+from repro.scoring import hbond as hb
+from repro.scoring import lennard_jones as lj
+from repro.scoring.pairwise import (
+    direction_vectors,
+    pairwise_distances,
+    pairwise_distances_batch,
+)
+
+
+@dataclass(frozen=True)
+class ScoreBreakdown:
+    """Per-term energies (kcal/mol, physics sign) and the final score."""
+
+    electrostatic: float
+    lennard_jones: float
+    hydrogen_bond: float
+
+    @property
+    def energy(self) -> float:
+        """Total interaction energy (lower = better)."""
+        return self.electrostatic + self.lennard_jones + self.hydrogen_bond
+
+    @property
+    def score(self) -> float:
+        """METADOCK score (higher = better): negated energy."""
+        return -self.energy
+
+
+def interaction_breakdown(
+    receptor: Molecule,
+    ligand: Molecule,
+    *,
+    distance_dependent_dielectric: bool = False,
+) -> ScoreBreakdown:
+    """Full Eq. 1 evaluation with per-term breakdown.
+
+    The H-bond angular directions are taken from the *receptor* side
+    topology (donor directions), matching the matrix layout receptor x
+    ligand; ligand-side donors are handled by the eligibility mask, which
+    is symmetric in donor/acceptor roles.
+    """
+    d = pairwise_distances(receptor.coords, ligand.coords)
+    e_el = elec.electrostatic_energy(
+        receptor.charges,
+        ligand.charges,
+        d,
+        distance_dependent=distance_dependent_dielectric,
+    )
+    e_lj = lj.lennard_jones_energy(
+        receptor.sigma, receptor.epsilon, ligand.sigma, ligand.epsilon, d
+    )
+    mask = hb.eligible_pairs_mask(
+        receptor.hbond_donor,
+        receptor.hbond_acceptor,
+        ligand.hbond_donor,
+        ligand.hbond_acceptor,
+    )
+    rows = mask.any(axis=1)
+    if rows.any():
+        # Only a small fraction of receptor atoms are donors/acceptors;
+        # restricting the angular computation to their rows cuts the
+        # H-bond cost by that fraction with identical results.
+        dirs = direction_vectors(receptor.coords, receptor.bonds)[rows]
+        cos_t, sin_t = hb.hbond_angle_factors(
+            receptor.coords[rows], ligand.coords, dirs
+        )
+        sig_pair, eps_pair = lj.combine_lj(
+            receptor.sigma[rows],
+            receptor.epsilon[rows],
+            ligand.sigma,
+            ligand.epsilon,
+        )
+        e_hb = hb.hbond_energy(
+            d[rows], mask[rows], cos_t, sin_t, sig_pair, eps_pair
+        )
+    else:
+        e_hb = 0.0
+    return ScoreBreakdown(
+        electrostatic=e_el, lennard_jones=e_lj, hydrogen_bond=e_hb
+    )
+
+
+def interaction_energy(receptor: Molecule, ligand: Molecule, **kw) -> float:
+    """Total Eq. 1 energy (kcal/mol; lower = better)."""
+    return interaction_breakdown(receptor, ligand, **kw).energy
+
+
+def interaction_score(receptor: Molecule, ligand: Molecule, **kw) -> float:
+    """The METADOCK score: negated Eq. 1 energy (higher = better)."""
+    return interaction_breakdown(receptor, ligand, **kw).score
+
+
+def score_pose_batch(
+    receptor: Molecule,
+    ligand: Molecule,
+    coords_batch: np.ndarray,
+    *,
+    include_hbond: bool = True,
+    chunk: int = 16,
+) -> np.ndarray:
+    """Scores for ``k`` ligand coordinate sets against one receptor.
+
+    ``coords_batch`` has shape (k, m, 3).  Evaluation is chunked so the
+    (chunk, n, m) temporaries stay cache-resident; a sweep on an 800-atom
+    receptor put the optimum near chunk=16 (larger chunks thrash L2,
+    smaller ones pay per-call overhead).  Returns shape (k,) scores
+    (higher = better).
+    """
+    cb = np.asarray(coords_batch, dtype=float)
+    if cb.ndim != 3 or cb.shape[1:] != (ligand.n_atoms, 3):
+        raise ValueError(
+            f"coords_batch must have shape (k, {ligand.n_atoms}, 3)"
+        )
+    k = cb.shape[0]
+    out = np.empty(k)
+    mask = hb.eligible_pairs_mask(
+        receptor.hbond_donor,
+        receptor.hbond_acceptor,
+        ligand.hbond_donor,
+        ligand.hbond_acceptor,
+    )
+    rows = mask.any(axis=1)
+    use_hb = include_hbond and bool(rows.any())
+    if use_hb:
+        rec_sub = receptor.coords[rows]
+        dirs = direction_vectors(receptor.coords, receptor.bonds)[rows]
+        sig_sub, eps_sub = lj.combine_lj(
+            receptor.sigma[rows],
+            receptor.epsilon[rows],
+            ligand.sigma,
+            ligand.epsilon,
+        )
+        mask_sub = mask[rows]
+    for start in range(0, k, chunk):
+        stop = min(start + chunk, k)
+        d = pairwise_distances_batch(receptor.coords, cb[start:stop])
+        e = elec.electrostatic_energy_batch(
+            receptor.charges, ligand.charges, d
+        )
+        e += lj.lennard_jones_energy_batch(
+            receptor.sigma,
+            receptor.epsilon,
+            ligand.sigma,
+            ligand.epsilon,
+            d,
+        )
+        if use_hb:
+            cos_t, sin_t = hb.hbond_angle_factors_batch(
+                rec_sub, cb[start:stop], dirs
+            )
+            # hbond_energy_matrix is elementwise: broadcasting the pair
+            # parameters across the (chunk, rows, m) batch is exact.
+            corr = hb.hbond_energy_matrix(
+                d[:, rows, :], mask_sub[None, :, :], cos_t, sin_t,
+                sig_sub[None, :, :], eps_sub[None, :, :],
+            )
+            e += corr.sum(axis=(1, 2))
+        out[start:stop] = -e
+    return out

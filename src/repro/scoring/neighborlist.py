@@ -1,0 +1,121 @@
+"""Cell-list neighbor search for cutoff-based scoring.
+
+The receptor is static throughout an episode, so its atoms are binned
+into a uniform grid once; each ligand atom then only visits the 27
+surrounding cells instead of all ~3k receptor atoms.  With the default
+12 A cutoff this reduces the per-step pair count by roughly the ratio of
+the receptor volume to the cutoff sphere -- the same locality optimization
+METADOCK applies on the GPU ("dividing the whole protein surface into
+independent regions").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import DEFAULT_CUTOFF
+
+
+class CellList:
+    """Uniform-grid spatial index over a static point set.
+
+    Parameters
+    ----------
+    points:
+        (n, 3) static coordinates (the receptor).
+    cell_size:
+        Edge length of the cubic cells; queries with ``radius <=
+        cell_size`` are guaranteed complete by scanning 3x3x3 cells.
+    """
+
+    def __init__(self, points: np.ndarray, cell_size: float = DEFAULT_CUTOFF):
+        pts = np.ascontiguousarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 3:
+            raise ValueError("points must have shape (n, 3)")
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self.points = pts
+        self.cell_size = float(cell_size)
+        self.origin = pts.min(axis=0) - 1e-9
+        idx3 = np.floor((pts - self.origin) / self.cell_size).astype(np.int64)
+        self.dims = idx3.max(axis=0) + 1 if len(pts) else np.ones(3, np.int64)
+        flat = self._flatten(idx3)
+        order = np.argsort(flat, kind="stable")
+        self._sorted_indices = order
+        self._sorted_flat = flat[order]
+        # CSR-style cell starts over the *occupied* flat ids.
+        self._unique_flat, starts = np.unique(
+            self._sorted_flat, return_index=True
+        )
+        self._starts = starts
+        self._ends = np.append(starts[1:], len(flat))
+
+    def _flatten(self, idx3: np.ndarray) -> np.ndarray:
+        d = self.dims
+        return (idx3[..., 0] * d[1] + idx3[..., 1]) * d[2] + idx3[..., 2]
+
+    def _cell_members(self, flat_id: int) -> np.ndarray:
+        pos = np.searchsorted(self._unique_flat, flat_id)
+        if pos >= len(self._unique_flat) or self._unique_flat[pos] != flat_id:
+            return np.empty(0, dtype=np.int64)
+        return self._sorted_indices[self._starts[pos] : self._ends[pos]]
+
+    def query(self, center, radius: float | None = None) -> np.ndarray:
+        """Indices of stored points within ``radius`` of ``center``.
+
+        ``radius`` defaults to ``cell_size``; larger radii widen the cell
+        scan accordingly (still exact).
+        """
+        r = self.cell_size if radius is None else float(radius)
+        c = np.asarray(center, dtype=float)
+        lo = np.floor((c - r - self.origin) / self.cell_size).astype(np.int64)
+        hi = np.floor((c + r - self.origin) / self.cell_size).astype(np.int64)
+        lo = np.maximum(lo, 0)
+        hi = np.minimum(hi, self.dims - 1)
+        if (lo > hi).any():
+            return np.empty(0, dtype=np.int64)
+        cand_parts = []
+        for ix in range(lo[0], hi[0] + 1):
+            for iy in range(lo[1], hi[1] + 1):
+                base = (ix * self.dims[1] + iy) * self.dims[2]
+                for iz in range(lo[2], hi[2] + 1):
+                    members = self._cell_members(base + iz)
+                    if members.size:
+                        cand_parts.append(members)
+        if not cand_parts:
+            return np.empty(0, dtype=np.int64)
+        cand = np.concatenate(cand_parts)
+        d2 = ((self.points[cand] - c) ** 2).sum(axis=1)
+        return cand[d2 <= r * r]
+
+    def query_many(self, centers: np.ndarray, radius: float | None = None) -> np.ndarray:
+        """Union of :meth:`query` results over several centers (sorted)."""
+        parts = [self.query(c, radius) for c in np.asarray(centers, float)]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(parts))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+def cutoff_pairs(
+    cell_list: CellList, probe_points: np.ndarray, radius: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """All (stored_index, probe_index) pairs within ``radius``.
+
+    Returned as two parallel index arrays usable for masked scoring.
+    """
+    stored_parts: list[np.ndarray] = []
+    probe_parts: list[np.ndarray] = []
+    for k, c in enumerate(np.asarray(probe_points, dtype=float)):
+        hits = cell_list.query(c, radius)
+        if hits.size:
+            stored_parts.append(hits)
+            probe_parts.append(np.full(hits.size, k, dtype=np.int64))
+    if not stored_parts:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+    return np.concatenate(stored_parts), np.concatenate(probe_parts)

@@ -1,0 +1,25 @@
+"""Shared utilities: RNG plumbing, timers, ASCII plots, tables, logging."""
+
+from repro.utils.rng import RngFactory, as_generator, spawn_seeds
+from repro.utils.timers import Timer, WallClock
+from repro.utils.tables import render_table
+from repro.utils.ascii_plot import ascii_line_plot, sparkline
+from repro.utils.running_stats import RunningStats, ExponentialMovingAverage
+from repro.utils.serialization import dump_json, load_json, save_history, load_history
+
+__all__ = [
+    "RngFactory",
+    "as_generator",
+    "spawn_seeds",
+    "Timer",
+    "WallClock",
+    "render_table",
+    "ascii_line_plot",
+    "sparkline",
+    "RunningStats",
+    "ExponentialMovingAverage",
+    "dump_json",
+    "load_json",
+    "save_history",
+    "load_history",
+]

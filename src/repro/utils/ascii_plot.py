@@ -1,0 +1,94 @@
+"""Terminal line plots for figure reproduction (no matplotlib offline).
+
+Figure 4 of the paper is a single training curve; :func:`ascii_line_plot`
+renders the measured curve into the experiment report so the rise-and-
+decline shape is visible directly in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line unicode sparkline of ``values`` (empty input -> '')."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return ""
+    finite = np.isfinite(arr)
+    if not finite.any():
+        return " " * arr.size
+    lo = float(arr[finite].min())
+    hi = float(arr[finite].max())
+    span = hi - lo
+    out = []
+    for v in arr:
+        if not np.isfinite(v):
+            out.append(" ")
+            continue
+        frac = 0.5 if span == 0 else (v - lo) / span
+        out.append(_BLOCKS[min(len(_BLOCKS) - 1, int(frac * len(_BLOCKS)))])
+    return "".join(out)
+
+
+def ascii_line_plot(
+    values: Sequence[float],
+    *,
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    ylabel_fmt: str = "{:>10.1f}",
+) -> str:
+    """Render ``values`` as a character-grid line plot.
+
+    Values are bucketed to ``width`` columns (mean per bucket) and scaled
+    to ``height`` rows.  Returns a multi-line string; degenerate inputs
+    (empty, all-NaN, constant) are handled without raising.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return (title + "\n" if title else "") + "(no data)"
+    # Bucket into `width` columns.
+    ncols = min(width, arr.size)
+    edges = np.linspace(0, arr.size, ncols + 1).astype(int)
+    def bucket_mean(a: int, b: int) -> float:
+        chunk = arr[a:b]
+        finite_chunk = chunk[np.isfinite(chunk)]
+        return float(finite_chunk.mean()) if finite_chunk.size else np.nan
+
+    cols = np.array(
+        [bucket_mean(a, b) for a, b in zip(edges[:-1], edges[1:])]
+    )
+    finite = np.isfinite(cols)
+    if not finite.any():
+        return (title + "\n" if title else "") + "(no finite data)"
+    lo, hi = float(cols[finite].min()), float(cols[finite].max())
+    span = hi - lo or 1.0
+    rows = np.full(ncols, -1, dtype=int)
+    rows[finite] = np.clip(
+        ((cols[finite] - lo) / span * (height - 1)).round().astype(int),
+        0,
+        height - 1,
+    )
+    grid = [[" "] * ncols for _ in range(height)]
+    for c, r in enumerate(rows):
+        if r >= 0:
+            grid[height - 1 - r][c] = "*"
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        y = hi - span * i / (height - 1) if height > 1 else hi
+        label = ylabel_fmt.format(y) if i in (0, height // 2, height - 1) \
+            else " " * len(ylabel_fmt.format(0.0))
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * len(ylabel_fmt.format(0.0)) + " +" + "-" * ncols)
+    lines.append(
+        " " * len(ylabel_fmt.format(0.0))
+        + f"  0{'episode'.center(max(0, ncols - 6))}{arr.size - 1}"
+    )
+    return "\n".join(lines)

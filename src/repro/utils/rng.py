@@ -1,0 +1,117 @@
+"""Deterministic random-number plumbing.
+
+All stochastic components in the library take either an integer seed or a
+:class:`numpy.random.Generator`.  :func:`as_generator` normalizes both, and
+:class:`RngFactory` hands out independent child generators for subsystems
+(environment, agent, replay sampling, ...) so that changing how many random
+draws one subsystem makes never perturbs another -- a requirement for the
+reproducible parallel workers in :mod:`repro.metadock.parallel`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, np.random.SeedSequence, None]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Passing an existing generator returns it unchanged (shared state);
+    anything else creates a fresh PCG64 generator.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_seeds(seed: SeedLike, n: int) -> list[np.random.SeedSequence]:
+    """Derive ``n`` statistically independent seed sequences from ``seed``."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if isinstance(seed, np.random.Generator):
+        base = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+        if not isinstance(base, np.random.SeedSequence):  # pragma: no cover
+            base = np.random.SeedSequence(int(seed.integers(2**63)))
+    elif isinstance(seed, np.random.SeedSequence):
+        base = seed
+    else:
+        base = np.random.SeedSequence(seed)
+    return list(base.spawn(n))
+
+
+class RngFactory:
+    """Named independent generators derived from one master seed.
+
+    >>> rngs = RngFactory(123)
+    >>> env_rng = rngs.get("env")
+    >>> agent_rng = rngs.get("agent")
+
+    Repeated ``get`` with the same name returns the *same* generator
+    instance; different names are statistically independent.  The mapping
+    from name to stream is stable across runs and across the order in which
+    names are first requested.
+    """
+
+    def __init__(self, seed: SeedLike = None):
+        if isinstance(seed, np.random.SeedSequence):
+            self._base_entropy: tuple = (seed.entropy,)
+        elif isinstance(seed, np.random.Generator):
+            self._base_entropy = (int(seed.integers(2**63)),)
+        elif seed is None:
+            self._base_entropy = (int(np.random.SeedSequence().entropy),)
+        else:
+            self._base_entropy = (int(seed),)
+        self._cache: dict[str, np.random.Generator] = {}
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use."""
+        if name not in self._cache:
+            # Hash the name into spawn_key space so stream identity depends
+            # only on (master seed, name), not on request order.
+            key = tuple(name.encode("utf-8"))
+            seq = np.random.SeedSequence(
+                entropy=self._base_entropy[0], spawn_key=key
+            )
+            self._cache[name] = np.random.default_rng(seq)
+        return self._cache[name]
+
+    def seeds(self, name: str, n: int) -> list[int]:
+        """``n`` deterministic integer seeds under stream ``name``
+        (for handing to worker processes)."""
+        gen = self.get(name)
+        return [int(s) for s in gen.integers(0, 2**63, size=n)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngFactory(entropy={self._base_entropy[0]})"
+
+
+def sobol_like_grid(n: int, dims: int, rng: SeedLike = None) -> np.ndarray:
+    """Low-discrepancy-ish points in the unit cube via jittered lattice.
+
+    Used to seed metaheuristic populations with well-spread initial poses
+    without depending on scipy.stats.qmc internals.  Returns ``(n, dims)``.
+    """
+    if n <= 0:
+        return np.empty((0, dims))
+    gen = as_generator(rng)
+    # Kronecker (golden-ratio generalization) lattice + uniform jitter.
+    phis = _kronecker_alphas(dims)
+    idx = np.arange(1, n + 1)[:, None]
+    points = (idx * phis[None, :]) % 1.0
+    jitter = gen.uniform(-0.5 / n, 0.5 / n, size=(n, dims))
+    return np.mod(points + jitter, 1.0)
+
+
+def _kronecker_alphas(dims: int) -> np.ndarray:
+    """Irrational step vector for the Kronecker lattice (R_d sequence)."""
+    # Generalized golden ratio: unique positive root of x^(d+1) = x + 1.
+    g = 1.5
+    for _ in range(64):
+        g = (1.0 + g) ** (1.0 / (dims + 1))
+    return np.array([1.0 / g ** (k + 1) for k in range(dims)]) % 1.0

@@ -1,0 +1,78 @@
+"""JSON persistence for run records.
+
+Training histories and experiment results are plain dataclasses over
+floats/strings; this module round-trips them through JSON so runs can be
+archived, diffed against EXPERIMENTS.md, and re-plotted without re-running.
+NumPy scalars/arrays are converted transparently.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+def _to_jsonable(obj: Any) -> Any:
+    """Recursively convert dataclasses / numpy types to JSON-safe values."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.floating, np.integer, np.bool_)):
+        return obj.item()
+    if isinstance(obj, float) and (obj != obj or obj in (float("inf"), float("-inf"))):
+        # JSON has no NaN/Inf; encode as strings and decode on load.
+        return {"__float__": repr(obj)}
+    if isinstance(obj, dict):
+        return {str(k): _to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_to_jsonable(v) for v in obj]
+    return obj
+
+
+def _from_jsonable(obj: Any) -> Any:
+    if isinstance(obj, dict):
+        if set(obj) == {"__float__"}:
+            return float(obj["__float__"].strip("'\""))
+        return {k: _from_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_from_jsonable(v) for v in obj]
+    return obj
+
+
+def dump_json(obj: Any, path: PathLike, *, indent: int = 2) -> None:
+    """Serialize ``obj`` (dataclass trees welcome) to ``path``."""
+    Path(path).write_text(json.dumps(_to_jsonable(obj), indent=indent))
+
+
+def load_json(path: PathLike) -> Any:
+    """Load a document written by :func:`dump_json` (as dicts/lists)."""
+    return _from_jsonable(json.loads(Path(path).read_text()))
+
+
+def save_history(history, path: PathLike) -> None:
+    """Persist a :class:`repro.rl.trainer.TrainingHistory`."""
+    dump_json(history, path)
+
+
+def load_history(path: PathLike):
+    """Reconstruct a TrainingHistory saved by :func:`save_history`."""
+    from repro.rl.trainer import EpisodeStats, TrainingHistory
+
+    raw = load_json(path)
+    episodes = [EpisodeStats(**ep) for ep in raw["episodes"]]
+    return TrainingHistory(
+        episodes=episodes,
+        total_steps=raw["total_steps"],
+        wall_seconds=raw["wall_seconds"],
+        timer_report=raw.get("timer_report", ""),
+    )

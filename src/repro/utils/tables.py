@@ -1,0 +1,59 @@
+"""Plain-text table rendering for experiment reports.
+
+Every experiment driver prints its results as a fixed-width table that can
+be diffed against EXPERIMENTS.md; this module is the single formatter so
+the layout stays consistent across Table 1, the bench summaries and the
+baseline comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    align: Sequence[str] | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an ASCII table.
+
+    ``align`` is a per-column sequence of ``"l"`` / ``"r"`` (default left).
+    Cells are stringified with ``str``; numeric formatting is the caller's
+    concern so scientific notation etc. stays under experiment control.
+    """
+    str_rows = [[str(c) for c in row] for row in rows]
+    ncols = len(headers)
+    for r in str_rows:
+        if len(r) != ncols:
+            raise ValueError(
+                f"row has {len(r)} cells, expected {ncols}: {r!r}"
+            )
+    if align is None:
+        align = ["l"] * ncols
+    if len(align) != ncols:
+        raise ValueError("align length must match header count")
+    widths = [len(h) for h in headers]
+    for r in str_rows:
+        for i, cell in enumerate(r):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for cell, w, a in zip(cells, widths, align):
+            parts.append(cell.rjust(w) if a == "r" else cell.ljust(w))
+        return "| " + " | ".join(parts) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append(fmt_row(list(headers)))
+    out.append(sep)
+    for r in str_rows:
+        out.append(fmt_row(r))
+    out.append(sep)
+    return "\n".join(out)

@@ -1,0 +1,80 @@
+"""Lightweight wall-clock instrumentation.
+
+The experiment drivers report how long each phase of a run took (the paper
+stresses that DQN<->METADOCK communication dominated their wall time), so
+timers are first-class here rather than ad-hoc ``time.time()`` pairs.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class Timer:
+    """Accumulating named timer usable as a context manager.
+
+    >>> t = Timer()
+    >>> with t.section("scoring"):
+    ...     pass
+    >>> t.total("scoring") >= 0.0
+    True
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Accumulated seconds spent in ``name`` (0.0 if never entered)."""
+        return self.totals.get(name, 0.0)
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per entry of ``name``."""
+        n = self.counts.get(name, 0)
+        return self.totals.get(name, 0.0) / n if n else 0.0
+
+    def report(self) -> str:
+        """Human-readable multi-line breakdown sorted by total time."""
+        if not self.totals:
+            return "(no timed sections)"
+        width = max(len(k) for k in self.totals)
+        lines = []
+        for name in sorted(self.totals, key=self.totals.get, reverse=True):
+            lines.append(
+                f"{name:<{width}}  total={self.totals[name]:9.4f}s  "
+                f"calls={self.counts[name]:>6}  "
+                f"mean={self.mean(name) * 1e3:9.4f}ms"
+            )
+        return "\n".join(lines)
+
+
+class WallClock:
+    """Monotonic stopwatch with split support."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+        self._last = self._start
+
+    def elapsed(self) -> float:
+        """Seconds since construction."""
+        return time.perf_counter() - self._start
+
+    def split(self) -> float:
+        """Seconds since the previous :meth:`split` (or construction)."""
+        now = time.perf_counter()
+        out = now - self._last
+        self._last = now
+        return out

@@ -1,0 +1,104 @@
+"""Trajectory analysis tools."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.trajectories import (
+    TrajectoryReport,
+    action_histogram,
+    analyze_recorder,
+    termination_breakdown,
+    visitation_heatmap,
+)
+from repro.env.wrappers import EpisodeRecorder
+from repro.rl.trainer import EpisodeStats, TrainingHistory
+
+
+def _episode(actions, distances=None):
+    distances = distances or [5.0] * len(actions)
+    return [
+        {
+            "action": a,
+            "reward": 0.0,
+            "score": 1.0,
+            "com_distance": d,
+        }
+        for a, d in zip(actions, distances)
+    ]
+
+
+class TestActionHistogram:
+    def test_frequencies(self):
+        eps = [_episode([0, 0, 1]), _episode([2])]
+        freq = action_histogram(eps, 4)
+        np.testing.assert_allclose(freq, [0.5, 0.25, 0.25, 0.0])
+
+    def test_empty(self):
+        freq = action_histogram([], 3)
+        np.testing.assert_array_equal(freq, 0.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            action_histogram([_episode([7])], 4)
+
+    def test_invalid_n_actions(self):
+        with pytest.raises(ValueError):
+            action_histogram([], 0)
+
+
+class TestTerminationBreakdown:
+    def test_counts(self):
+        h = TrainingHistory()
+        for term in ("escape", "escape", "time-limit"):
+            h.episodes.append(
+                EpisodeStats(0, 1, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, True, term)
+            )
+        assert termination_breakdown(h) == {"escape": 2, "time-limit": 1}
+
+
+class TestVisitationHeatmap:
+    def test_shape_and_counts(self):
+        eps = [_episode([0] * 10, distances=list(np.linspace(3, 12, 10)))]
+        heat, (lo, hi) = visitation_heatmap(eps, bins=6)
+        assert heat.shape == (6, 10)
+        assert heat.sum() == 10
+        assert lo == pytest.approx(3.0) and hi == pytest.approx(12.0)
+
+    def test_empty(self):
+        heat, rng = visitation_heatmap([])
+        assert heat.sum() == 0
+        assert rng == (0.0, 0.0)
+
+
+class TestAnalyzeRecorder:
+    def test_end_to_end(self, engine):
+        from repro.env.docking_env import DockingEnv
+        from repro.rl.trainer import Trainer
+        from tests.test_rl_trainer import tiny_agent
+
+        env = EpisodeRecorder(DockingEnv(engine))
+        agent = tiny_agent(
+            state_dim=env.state_dim, n_actions=env.n_actions
+        )
+        history = Trainer(
+            env, agent, episodes=3, max_steps_per_episode=10
+        ).run()
+        report = analyze_recorder(
+            env, history, action_labels=env.engine.action_labels()
+        )
+        assert isinstance(report, TrajectoryReport)
+        assert report.action_freq.sum() == pytest.approx(1.0)
+        assert report.mean_episode_length > 0
+        out = report.summary()
+        assert "Action usage" in out
+        assert "+shift-x" in out
+
+    def test_label_mismatch_rejected(self, engine):
+        from repro.env.docking_env import DockingEnv
+        from repro.rl.trainer import TrainingHistory
+
+        env = EpisodeRecorder(DockingEnv(engine))
+        env.reset()
+        env.step(0)
+        with pytest.raises(ValueError):
+            analyze_recorder(env, TrainingHistory(), action_labels=["x"])

@@ -1,0 +1,90 @@
+"""Conformer generation for flexible ligands."""
+
+import numpy as np
+import pytest
+
+from repro.chem.conformers import (
+    conformer_diversity,
+    generate_conformers,
+)
+from repro.chem.molecule import Molecule
+
+
+@pytest.fixture(scope="module")
+def ligand(small_complex):
+    return small_complex.ligand_crystal
+
+
+class TestGenerateConformers:
+    def test_identity_first(self, ligand):
+        confs = generate_conformers(ligand, 4, rng=0)
+        assert all(t == 0.0 for t in confs[0].torsions)
+        np.testing.assert_allclose(
+            confs[0].coords,
+            ligand.coords - ligand.coords.mean(axis=0),
+        )
+
+    def test_requested_count(self, ligand):
+        confs = generate_conformers(ligand, 5, rng=0)
+        assert 1 <= len(confs) <= 5
+        assert len(confs) >= 2  # sampling should find some
+
+    def test_all_centered(self, ligand):
+        for c in generate_conformers(ligand, 4, rng=1):
+            np.testing.assert_allclose(
+                c.coords.mean(axis=0), 0.0, atol=1e-9
+            )
+
+    def test_no_self_clashes(self, ligand):
+        for c in generate_conformers(ligand, 6, clash_distance=0.9, rng=2):
+            assert c.min_nonbonded_distance >= 0.9
+
+    def test_bond_lengths_preserved(self, ligand):
+        centered = ligand.coords - ligand.coords.mean(axis=0)
+        for c in generate_conformers(ligand, 4, rng=3)[1:]:
+            for i, j in ligand.bonds:
+                before = np.linalg.norm(centered[j] - centered[i])
+                after = np.linalg.norm(c.coords[j] - c.coords[i])
+                assert after == pytest.approx(before, abs=1e-9)
+
+    def test_deterministic(self, ligand):
+        a = generate_conformers(ligand, 4, rng=5)
+        b = generate_conformers(ligand, 4, rng=5)
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            np.testing.assert_allclose(x.coords, y.coords)
+
+    def test_rigid_molecule_single_conformer(self):
+        # Methane-like: no rotatable bonds -> identity only.
+        mol = Molecule.from_symbols(
+            ["C", "H", "H", "H", "H"],
+            [
+                [0, 0, 0],
+                [1.0, 0, 0],
+                [-0.5, 0.9, 0],
+                [-0.5, -0.9, 0],
+                [0, 0, 1.0],
+            ],
+            bonds=[[0, 1], [0, 2], [0, 3], [0, 4]],
+        )
+        confs = generate_conformers(mol, 8, rng=0)
+        assert len(confs) == 1
+
+    def test_max_torsions_limit(self, ligand):
+        confs = generate_conformers(ligand, 3, max_torsions=1, rng=0)
+        assert all(len(c.torsions) == 1 for c in confs)
+
+    def test_invalid_count(self, ligand):
+        with pytest.raises(ValueError):
+            generate_conformers(ligand, 0)
+
+
+class TestDiversity:
+    def test_singleton_zero(self, ligand):
+        confs = generate_conformers(ligand, 1, rng=0)
+        assert conformer_diversity(confs) == 0.0
+
+    def test_ensemble_positive(self, ligand):
+        confs = generate_conformers(ligand, 5, rng=0)
+        if len(confs) >= 2:
+            assert conformer_diversity(confs) > 0.0

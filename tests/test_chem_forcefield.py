@@ -1,0 +1,127 @@
+"""Force-field parameter assignment and validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.chem.forcefield import (
+    assign_parameters,
+    formal_charge_sites,
+    refine_hbond_roles,
+)
+from repro.chem.molecule import Molecule
+from repro.chem.validate import ValidationReport, validate_molecule
+
+
+def carbonyl() -> Molecule:
+    """C=O fragment with one attached H: tests charge polarity."""
+    return Molecule.from_symbols(
+        ["C", "O", "H"],
+        [[0.0, 0.0, 0.0], [1.22, 0.0, 0.0], [-0.6, 0.9, 0.0]],
+        bonds=[[0, 1], [0, 2]],
+    )
+
+
+class TestAssignParameters:
+    def test_electronegativity_polarity(self):
+        mol = assign_parameters(carbonyl(), total_charge=0.0)
+        # O more electronegative than C: O negative, C positive relative.
+        assert mol.charges[1] < mol.charges[0]
+
+    def test_total_charge_respected(self):
+        mol = assign_parameters(carbonyl(), total_charge=1.0)
+        assert mol.charges.sum() == pytest.approx(1.0)
+
+    def test_typical_model(self):
+        mol = assign_parameters(carbonyl(), charge_model="typical")
+        assert mol.charges.sum() == pytest.approx(0.0)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            assign_parameters(carbonyl(), charge_model="qeq")
+
+    def test_lj_parameters_positive(self):
+        mol = assign_parameters(carbonyl())
+        assert (mol.sigma > 0).all() and (mol.epsilon > 0).all()
+
+    def test_no_bonds_still_works(self):
+        atom = Molecule.from_symbols(["C"], [[0, 0, 0]])
+        mol = assign_parameters(atom)
+        assert mol.charges.shape == (1,)
+
+    def test_original_not_mutated(self):
+        orig = carbonyl()
+        before = orig.charges.copy()
+        assign_parameters(orig, total_charge=5.0)
+        np.testing.assert_array_equal(orig.charges, before)
+
+
+class TestRefineHbondRoles:
+    def test_donor_requires_attached_h(self):
+        # O in carbonyl has no H -> loses donor status; C has H but C is
+        # not a donor element anyway.
+        mol = refine_hbond_roles(carbonyl())
+        assert not mol.hbond_donor[1]
+
+    def test_hydroxyl_keeps_donor(self):
+        oh = Molecule.from_symbols(
+            ["O", "H"], [[0, 0, 0], [0.96, 0, 0]], bonds=[[0, 1]]
+        )
+        mol = refine_hbond_roles(oh)
+        assert mol.hbond_donor[0]
+
+    def test_no_bonds_passthrough(self):
+        atom = Molecule.from_symbols(["O"], [[0, 0, 0]])
+        mol = refine_hbond_roles(atom)
+        assert mol.n_atoms == 1
+
+
+class TestFormalChargeSites:
+    def test_threshold(self):
+        mol = carbonyl()
+        mol.charges = np.array([0.5, -0.5, 0.0])
+        np.testing.assert_array_equal(formal_charge_sites(mol, 0.4), [0, 1])
+
+    def test_none_found(self):
+        mol = carbonyl()
+        mol.charges = np.zeros(3)
+        assert formal_charge_sites(mol).size == 0
+
+
+class TestValidateMolecule:
+    def test_good_molecule_passes(self):
+        rep = validate_molecule(carbonyl())
+        assert rep.ok and bool(rep)
+
+    def test_nan_coords_flagged(self):
+        mol = carbonyl()
+        mol.coords[0, 0] = np.nan
+        rep = validate_molecule(mol)
+        assert not rep.ok
+        assert any("coordinates" in e for e in rep.errors)
+
+    def test_nan_charge_flagged(self):
+        mol = carbonyl()
+        mol.charges[0] = np.inf
+        assert not validate_molecule(mol).ok
+
+    def test_close_atoms_warn(self):
+        mol = Molecule.from_symbols(
+            ["C", "C"], [[0, 0, 0], [0.3, 0, 0]]
+        )
+        rep = validate_molecule(mol)
+        assert rep.ok  # warning, not error
+        assert rep.warnings
+
+    def test_too_short_bond_is_error(self):
+        mol = Molecule.from_symbols(
+            ["C", "C"], [[0, 0, 0], [0.3, 0, 0]], bonds=[[0, 1]]
+        )
+        assert not validate_molecule(mol).ok
+
+    def test_raise_if_failed(self):
+        rep = ValidationReport(errors=["boom"])
+        with pytest.raises(ValueError, match="boom"):
+            rep.raise_if_failed()
+
+    def test_raise_if_ok_is_noop(self):
+        ValidationReport().raise_if_failed()

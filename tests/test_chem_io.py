@@ -1,0 +1,142 @@
+"""PDB / PDBQT / XYZ readers and writers."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.chem.molecule import Molecule
+from repro.chem.pdb import read_pdb, read_pdbqt, to_pdb_string, write_pdb
+from repro.chem.xyz import read_xyz, to_xyz_string, write_xyz
+
+
+def sample() -> Molecule:
+    return Molecule.from_symbols(
+        ["C", "O", "H"],
+        [[0.0, 0.0, 0.0], [1.2, 0.0, 0.0], [-0.6, 0.9, 0.1]],
+        bonds=[[0, 1], [0, 2]],
+        name="smpl",
+    )
+
+
+class TestPdbRoundTrip:
+    def test_atoms_survive(self):
+        text = to_pdb_string(sample())
+        back = read_pdb(io.StringIO(text))
+        assert back.symbols == ["C", "O", "H"]
+        np.testing.assert_allclose(back.coords, sample().coords, atol=1e-3)
+
+    def test_bonds_survive_via_conect(self):
+        back = read_pdb(io.StringIO(to_pdb_string(sample())))
+        assert back.n_bonds == 2
+        assert {tuple(b) for b in back.bonds} == {(0, 1), (0, 2)}
+
+    def test_assign_fills_parameters(self):
+        back = read_pdb(io.StringIO(to_pdb_string(sample())))
+        assert (back.sigma > 0).all()
+        assert np.isfinite(back.charges).all()
+
+    def test_assign_false_keeps_typical(self):
+        back = read_pdb(io.StringIO(to_pdb_string(sample())), assign=False)
+        assert back.n_atoms == 3
+
+    def test_header_becomes_name(self):
+        # idCode occupies columns 63-66 (0-based slice 62:66).
+        header = "HEADER    PROTEIN".ljust(62) + "2BSM"
+        text = header + "\n" + to_pdb_string(sample())
+        back = read_pdb(io.StringIO(text))
+        assert back.name == "2BSM"
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            read_pdb(io.StringIO("END\n"))
+
+    def test_malformed_atom_line_rejected(self):
+        bad = "ATOM      1  C   MOL A   1    garbage\n"
+        with pytest.raises(ValueError):
+            read_pdb(io.StringIO(bad))
+
+    def test_file_path_roundtrip(self, tmp_path):
+        p = tmp_path / "mol.pdb"
+        write_pdb(sample(), p)
+        back = read_pdb(p)
+        assert back.n_atoms == 3
+
+    def test_hetatm_flag(self):
+        buf = io.StringIO()
+        write_pdb(sample(), buf, hetatm=True)
+        assert "HETATM" in buf.getvalue()
+
+
+class TestPdbqt:
+    def test_reads_charges(self):
+        lines = [
+            "ATOM      1  N   LIG A   1       0.000   0.000   0.000  1.00  0.00     0.450 N",
+            "ATOM      2  C   LIG A   1       1.500   0.000   0.000  1.00  0.00    -0.120 C",
+        ]
+        mol = read_pdbqt(io.StringIO("\n".join(lines) + "\n"))
+        assert mol.symbols == ["N", "C"]
+        np.testing.assert_allclose(mol.charges, [0.45, -0.12])
+
+    def test_aromatic_carbon_type(self):
+        line = (
+            "ATOM      1  C1  LIG A   1       0.000   0.000   0.000"
+            "  1.00  0.00     0.010 A"
+        )
+        mol = read_pdbqt(io.StringIO(line + "\n"))
+        assert mol.symbols == ["C"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            read_pdbqt(io.StringIO("REMARK nothing\n"))
+
+
+class TestXyz:
+    def test_roundtrip(self):
+        text = to_xyz_string(sample())
+        back = read_xyz(io.StringIO(text))
+        assert back.symbols == ["C", "O", "H"]
+        np.testing.assert_allclose(back.coords, sample().coords, atol=1e-7)
+        assert back.name == "smpl"
+
+    def test_bond_perception_on_read(self):
+        back = read_xyz(io.StringIO(to_xyz_string(sample())))
+        assert back.n_bonds >= 2
+
+    def test_perceive_bonds_off(self):
+        back = read_xyz(
+            io.StringIO(to_xyz_string(sample())), perceive_bonds=False
+        )
+        assert back.n_bonds == 0
+
+    def test_file_path_roundtrip(self, tmp_path):
+        p = tmp_path / "mol.xyz"
+        write_xyz(sample(), p)
+        assert read_xyz(p).n_atoms == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            read_xyz(io.StringIO(""))
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ValueError):
+            read_xyz(io.StringIO("nope\ncomment\n"))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            read_xyz(io.StringIO("3\ncomment\nC 0 0 0\n"))
+
+    def test_malformed_atom_line_rejected(self):
+        with pytest.raises(ValueError):
+            read_xyz(io.StringIO("1\nc\nC 0 0\n"))
+
+
+class TestCrossFormat:
+    def test_pdb_and_xyz_agree(self):
+        mol = sample()
+        via_pdb = read_pdb(io.StringIO(to_pdb_string(mol)), assign=False)
+        via_xyz = read_xyz(
+            io.StringIO(to_xyz_string(mol)), perceive_bonds=False, assign=False
+        )
+        assert via_pdb.symbols == via_xyz.symbols
+        np.testing.assert_allclose(via_pdb.coords, via_xyz.coords, atol=1e-3)

@@ -1,0 +1,212 @@
+"""Rigid transforms: rotation matrices, quaternion algebra, RMSD."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chem.transforms import (
+    Quaternion,
+    axis_angle_matrix,
+    kabsch_rmsd,
+    random_rotation,
+    rigid_transform,
+    rmsd,
+    rotation_matrix,
+)
+
+angles = st.floats(-2 * math.pi, 2 * math.pi, allow_nan=False)
+unit_axes = st.sampled_from(["x", "y", "z"])
+
+
+class TestAxisAngleMatrix:
+    def test_identity_at_zero(self):
+        np.testing.assert_allclose(axis_angle_matrix("x", 0.0), np.eye(3))
+
+    def test_quarter_turn_z(self):
+        m = axis_angle_matrix("z", math.pi / 2)
+        np.testing.assert_allclose(m @ [1, 0, 0], [0, 1, 0], atol=1e-12)
+
+    def test_arbitrary_axis_normalized(self):
+        m1 = axis_angle_matrix([2, 0, 0], 0.7)
+        m2 = axis_angle_matrix([1, 0, 0], 0.7)
+        np.testing.assert_allclose(m1, m2)
+
+    def test_zero_axis_rejected(self):
+        with pytest.raises(ValueError):
+            axis_angle_matrix([0, 0, 0], 1.0)
+
+    def test_unknown_axis_name_rejected(self):
+        with pytest.raises(ValueError):
+            axis_angle_matrix("w", 1.0)
+
+    @given(unit_axes, angles)
+    def test_orthogonality(self, axis, angle):
+        m = axis_angle_matrix(axis, angle)
+        np.testing.assert_allclose(m @ m.T, np.eye(3), atol=1e-12)
+
+    @given(unit_axes, angles)
+    def test_determinant_one(self, axis, angle):
+        m = axis_angle_matrix(axis, angle)
+        assert np.linalg.det(m) == pytest.approx(1.0)
+
+    @given(unit_axes, angles, angles)
+    def test_same_axis_angles_add(self, axis, a, b):
+        m = axis_angle_matrix(axis, a) @ axis_angle_matrix(axis, b)
+        np.testing.assert_allclose(
+            m, axis_angle_matrix(axis, a + b), atol=1e-10
+        )
+
+
+class TestRotationMatrix:
+    def test_composition_order(self):
+        rx, ry, rz = 0.3, -0.7, 1.1
+        expected = (
+            axis_angle_matrix("z", rz)
+            @ axis_angle_matrix("y", ry)
+            @ axis_angle_matrix("x", rx)
+        )
+        np.testing.assert_allclose(rotation_matrix(rx, ry, rz), expected)
+
+
+class TestQuaternion:
+    def test_identity_matrix(self):
+        np.testing.assert_allclose(Quaternion.identity().to_matrix(), np.eye(3))
+
+    @given(unit_axes, angles)
+    def test_matches_axis_angle_matrix(self, axis, angle):
+        q = Quaternion.from_axis_angle(axis, angle)
+        np.testing.assert_allclose(
+            q.to_matrix(), axis_angle_matrix(axis, angle), atol=1e-12
+        )
+
+    @given(angles, angles)
+    def test_hamilton_product_composes_rotations(self, a, b):
+        qa = Quaternion.from_axis_angle("z", a)
+        qb = Quaternion.from_axis_angle("x", b)
+        np.testing.assert_allclose(
+            (qa * qb).to_matrix(),
+            qa.to_matrix() @ qb.to_matrix(),
+            atol=1e-12,
+        )
+
+    def test_conjugate_is_inverse(self):
+        q = Quaternion.from_axis_angle([1, 2, 3], 0.9)
+        ident = q * q.conjugate()
+        assert ident.approx_equal(Quaternion.identity())
+
+    def test_normalized_unit_norm(self):
+        q = Quaternion(3.0, 4.0, 0.0, 0.0).normalized()
+        assert q.norm() == pytest.approx(1.0)
+
+    def test_normalize_zero_rejected(self):
+        with pytest.raises(ValueError):
+            Quaternion(0, 0, 0, 0).normalized()
+
+    def test_random_is_unit_and_deterministic(self):
+        q1 = Quaternion.random(5)
+        q2 = Quaternion.random(5)
+        assert q1.norm() == pytest.approx(1.0)
+        assert q1 == q2
+
+    def test_random_uniform_coverage(self):
+        # Rotated z-axes should land in all octants over many draws.
+        rng = np.random.default_rng(0)
+        z = np.array([0.0, 0.0, 1.0])
+        pts = np.array([Quaternion.random(rng).rotate(z) for _ in range(256)])
+        for d in range(3):
+            assert (pts[:, d] > 0.3).any() and (pts[:, d] < -0.3).any()
+
+    def test_angle(self):
+        q = Quaternion.from_axis_angle("y", 0.8)
+        assert q.angle() == pytest.approx(0.8)
+
+    def test_minus_q_same_rotation(self):
+        q = Quaternion.from_axis_angle("x", 1.0)
+        neg = Quaternion(-q.w, -q.x, -q.y, -q.z)
+        assert q.approx_equal(neg)
+        np.testing.assert_allclose(q.to_matrix(), neg.to_matrix())
+
+    def test_rotate_points_shape(self):
+        q = Quaternion.from_axis_angle("z", math.pi)
+        pts = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        out = q.rotate(pts)
+        np.testing.assert_allclose(out, [[-1, 0, 0], [0, -1, 0]], atol=1e-12)
+
+    def test_from_array_roundtrip(self):
+        q = Quaternion.from_axis_angle([1, 1, 0], 0.4)
+        q2 = Quaternion.from_array(q.to_array())
+        assert q.approx_equal(q2)
+
+
+class TestRigidTransform:
+    def test_translation_only(self):
+        pts = np.zeros((3, 3))
+        out = rigid_transform(pts, translation=[1, 2, 3])
+        np.testing.assert_allclose(out, np.tile([1, 2, 3], (3, 1)))
+
+    def test_rotation_about_centroid_keeps_centroid(self, rng):
+        pts = rng.normal(size=(10, 3))
+        out = rigid_transform(pts, rotation=random_rotation(1))
+        np.testing.assert_allclose(out.mean(axis=0), pts.mean(axis=0), atol=1e-12)
+
+    def test_rotation_about_external_center(self):
+        pts = np.array([[1.0, 0.0, 0.0]])
+        out = rigid_transform(
+            pts, rotation=axis_angle_matrix("z", math.pi), center=[0, 0, 0]
+        )
+        np.testing.assert_allclose(out, [[-1, 0, 0]], atol=1e-12)
+
+    def test_accepts_quaternion(self, rng):
+        pts = rng.normal(size=(5, 3))
+        q = Quaternion.from_axis_angle("y", 0.3)
+        a = rigid_transform(pts, rotation=q)
+        b = rigid_transform(pts, rotation=q.to_matrix())
+        np.testing.assert_allclose(a, b)
+
+    def test_bad_matrix_shape_rejected(self):
+        with pytest.raises(ValueError):
+            rigid_transform(np.zeros((2, 3)), rotation=np.eye(2))
+
+    def test_preserves_pairwise_distances(self, rng):
+        pts = rng.normal(size=(8, 3))
+        out = rigid_transform(
+            pts, rotation=random_rotation(3), translation=[4, -1, 2]
+        )
+        d_in = np.linalg.norm(pts[:, None] - pts[None, :], axis=-1)
+        d_out = np.linalg.norm(out[:, None] - out[None, :], axis=-1)
+        np.testing.assert_allclose(d_in, d_out, atol=1e-10)
+
+
+class TestRmsd:
+    def test_zero_for_identical(self, rng):
+        pts = rng.normal(size=(6, 3))
+        assert rmsd(pts, pts) == 0.0
+        assert kabsch_rmsd(pts, pts) == pytest.approx(0.0, abs=1e-9)
+
+    def test_kabsch_removes_rigid_motion(self, rng):
+        pts = rng.normal(size=(12, 3))
+        moved = rigid_transform(
+            pts, rotation=random_rotation(7), translation=[3, 2, 1]
+        )
+        assert rmsd(pts, moved) > 0.5
+        assert kabsch_rmsd(pts, moved) == pytest.approx(0.0, abs=1e-9)
+
+    def test_plain_rmsd_translation_sensitive(self):
+        pts = np.zeros((4, 3))
+        assert rmsd(pts, pts + [1.0, 0, 0]) == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            rmsd(np.zeros((3, 3)), np.zeros((4, 3)))
+        with pytest.raises(ValueError):
+            kabsch_rmsd(np.zeros((3, 3)), np.zeros((4, 3)))
+
+    def test_kabsch_reflection_not_allowed(self):
+        # A mirrored helix cannot be superposed by pure rotation.
+        t = np.linspace(0, 4 * np.pi, 20)
+        helix = np.stack([np.cos(t), np.sin(t), t / 3], axis=1)
+        mirrored = helix * np.array([1.0, 1.0, -1.0])
+        assert kabsch_rmsd(helix, mirrored) > 0.1

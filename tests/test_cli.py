@@ -1,0 +1,101 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "RMSprop" in out
+        assert "match the published Table 1" in out
+
+    def test_geometry(self, capsys):
+        code = main(
+            ["geometry", "--receptor-atoms", "150", "--ligand-atoms", "10"]
+        )
+        assert code == 0
+        assert "crystal pose" in capsys.readouterr().out
+
+    def test_figure4_tiny(self, capsys):
+        code = main(
+            ["figure4", "--episodes", "4", "--max-steps", "15", "--seed", "1"]
+        )
+        assert code == 0
+        assert "Figure 4" in capsys.readouterr().out
+
+    def test_figure4_variant(self, capsys):
+        code = main(
+            [
+                "figure4",
+                "--episodes", "3",
+                "--max-steps", "10",
+                "--variant", "ddqn",
+            ]
+        )
+        assert code == 0
+
+    def test_comm_ablation(self, capsys):
+        assert main(["comm-ablation", "--steps", "20"]) == 0
+        assert "steps/sec" in capsys.readouterr().out
+
+    def test_screen(self, capsys):
+        code = main(
+            [
+                "screen",
+                "--ligands", "2",
+                "--budget", "40",
+                "--strategy", "random",
+            ]
+        )
+        assert code == 0
+        assert "LIG00000" in capsys.readouterr().out
+
+    def test_blind(self, capsys):
+        code = main(["blind", "--spots", "3", "--budget", "40", "--workers", "1"])
+        assert code == 0
+        assert "Blind docking" in capsys.readouterr().out
+
+    def test_baselines(self, capsys):
+        assert main(["baselines", "--budget", "150"]) == 0
+        assert "dqn-docking" in capsys.readouterr().out
+
+    def test_reward_ablation(self, capsys):
+        code = main(
+            ["reward-ablation", "--episodes", "3", "--schemes", "sign"]
+        )
+        assert code == 0
+        assert "reward scheme" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        code = main(
+            ["sweep", "gamma", "0.5", "0.99", "--episodes", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Sweep over gamma" in out
+        assert "best setting" in out
+
+    def test_sweep_value_parsing(self):
+        from repro.cli import _parse_value
+
+        assert _parse_value("3") == 3
+        assert _parse_value("0.5") == 0.5
+        assert _parse_value("relu") == "relu"

@@ -1,0 +1,106 @@
+"""Property-based engine invariants (hypothesis over action sequences)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metadock.engine import MetadockEngine
+
+actions = st.integers(min_value=0, max_value=11)
+action_seqs = st.lists(actions, min_size=1, max_size=12)
+
+
+def _inverse(a: int) -> int:
+    """Each rigid action's inverse is its +-partner."""
+    return a + 1 if a % 2 == 0 else a - 1
+
+
+@st.composite
+def palindromic_seq(draw):
+    """A sequence followed by its reversed inverses (net identity)."""
+    seq = draw(action_seqs)
+    return seq + [_inverse(a) for a in reversed(seq)]
+
+
+class TestEngineInvariants:
+    @given(palindromic_seq())
+    @settings(max_examples=20, deadline=None)
+    def test_inverse_sequences_restore_state(self, small_complex, seq):
+        engine = MetadockEngine(
+            small_complex, shift_length=0.7, rotation_angle_deg=3.0
+        )
+        start = engine.reset().state
+        for a in seq:
+            engine.apply_action(a)
+        np.testing.assert_allclose(
+            engine.state_vector(), start, atol=1e-8
+        )
+
+    @given(action_seqs)
+    @settings(max_examples=20, deadline=None)
+    def test_internal_geometry_rigid(self, small_complex, seq):
+        # Rigid actions never change intra-ligand distances.
+        engine = MetadockEngine(
+            small_complex, shift_length=0.7, rotation_angle_deg=3.0
+        )
+        engine.reset()
+        ref = engine.ligand_coords()
+        d_ref = np.linalg.norm(ref[0] - ref[-1])
+        for a in seq:
+            engine.apply_action(a)
+        cur = engine.ligand_coords()
+        assert np.linalg.norm(cur[0] - cur[-1]) == pytest.approx(
+            d_ref, abs=1e-9
+        )
+
+    @given(action_seqs)
+    @settings(max_examples=15, deadline=None)
+    def test_score_matches_fresh_engine_at_same_pose(self, small_complex, seq):
+        # Path independence: score depends only on the final pose.
+        a_eng = MetadockEngine(
+            small_complex, shift_length=0.7, rotation_angle_deg=3.0
+        )
+        a_eng.reset()
+        for a in seq:
+            a_eng.apply_action(a)
+        b_eng = MetadockEngine(
+            small_complex, shift_length=0.7, rotation_angle_deg=3.0
+        )
+        b_eng.reset()
+        assert b_eng.score_pose(a_eng.pose) == pytest.approx(
+            a_eng.score(), rel=1e-9
+        )
+
+    @given(st.integers(0, 5))
+    @settings(max_examples=6, deadline=None)
+    def test_translation_order_commutes(self, small_complex, seed):
+        rng = np.random.default_rng(seed)
+        seq = list(rng.integers(0, 6, size=6))  # shifts only
+        a_eng = MetadockEngine(small_complex, shift_length=0.7)
+        a_eng.reset()
+        for a in seq:
+            a_eng.apply_action(int(a))
+        b_eng = MetadockEngine(small_complex, shift_length=0.7)
+        b_eng.reset()
+        for a in reversed(seq):
+            b_eng.apply_action(int(a))
+        np.testing.assert_allclose(
+            a_eng.ligand_coords(), b_eng.ligand_coords(), atol=1e-9
+        )
+
+    @given(action_seqs)
+    @settings(max_examples=10, deadline=None)
+    def test_observation_consistency(self, small_complex, seq):
+        engine = MetadockEngine(
+            small_complex, shift_length=0.7, rotation_angle_deg=3.0
+        )
+        engine.reset()
+        for a in seq:
+            engine.apply_action(a)
+        obs = engine.observe()
+        np.testing.assert_allclose(obs.state, engine.state_vector())
+        assert obs.score == pytest.approx(engine.score())
+        np.testing.assert_allclose(
+            obs.ligand_coords, engine.ligand_coords()
+        )

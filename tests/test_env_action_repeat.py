@@ -1,0 +1,79 @@
+"""ActionRepeat wrapper (the frame-skip analogue)."""
+
+import numpy as np
+import pytest
+
+from repro.env.wrappers import ActionRepeat
+
+from tests.test_env_wrappers import FakeEnv
+
+
+class ScoreDeltaEnv(FakeEnv):
+    """FakeEnv variant reporting score_delta like DockingEnv does."""
+
+    def step(self, action):
+        state, reward, done, info = super().step(action)
+        delta = 1.0 if action == 0 else -1.0
+        info["score_delta"] = delta
+        info["score"] = float(self.t) * delta
+        return state, reward, done, info
+
+
+class TestActionRepeat:
+    def test_advances_repeat_steps(self):
+        inner = FakeEnv()
+        env = ActionRepeat(inner, 4)
+        env.reset()
+        env.step(0)
+        assert inner.t == 4
+
+    def test_repeat_one_is_identity(self):
+        inner = FakeEnv()
+        env = ActionRepeat(inner, 1)
+        env.reset()
+        env.step(0)
+        assert inner.t == 1
+
+    def test_stops_early_on_done(self):
+        inner = FakeEnv(horizon=2)
+        env = ActionRepeat(inner, 10)
+        env.reset()
+        _s, _r, done, _i = env.step(0)
+        assert done
+        assert inner.t == 2
+
+    def test_reward_is_sign_of_total_delta(self):
+        env = ActionRepeat(ScoreDeltaEnv(), 3)
+        env.reset()
+        _s, r, _d, info = env.step(0)
+        assert r == 1.0
+        assert info["score_delta"] == pytest.approx(3.0)
+
+    def test_invalid_repeat(self):
+        with pytest.raises(ValueError):
+            ActionRepeat(FakeEnv(), 0)
+
+    def test_on_real_docking_env(self, engine):
+        from repro.env.docking_env import DockingEnv
+
+        env = ActionRepeat(DockingEnv(engine), 3)
+        s = env.reset()
+        s2, r, done, info = env.step(5)
+        assert r in (-1.0, 0.0, 1.0)
+        assert not np.array_equal(s, s2)
+        # Three repeats of a shift move the ligand 3 steps.
+        assert env.env.episode_steps == 3
+
+    def test_coarser_steps_bigger_deltas(self, small_complex):
+        from repro.env.docking_env import DockingEnv
+        from repro.metadock.engine import MetadockEngine
+
+        fine = DockingEnv(MetadockEngine(small_complex, shift_length=0.5))
+        coarse = ActionRepeat(
+            DockingEnv(MetadockEngine(small_complex, shift_length=0.5)), 4
+        )
+        fine.reset()
+        coarse.reset()
+        d_fine = abs(fine.step(5)[3]["score_delta"])
+        d_coarse = abs(coarse.step(5)[3]["score_delta"])
+        assert d_coarse > d_fine

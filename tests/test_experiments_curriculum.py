@@ -1,0 +1,36 @@
+"""Multi-complex curriculum experiment."""
+
+import numpy as np
+import pytest
+
+from repro.config import ci_scale_config
+from repro.experiments.curriculum import run_curriculum_experiment
+
+
+class TestCurriculum:
+    @pytest.fixture(scope="class")
+    def result(self):
+        cfg = ci_scale_config(episodes=8, seed=0, max_steps=25)
+        return run_curriculum_experiment(
+            cfg, n_train_complexes=2, total_steps=200, eval_episodes=2
+        )
+
+    def test_structure(self, result):
+        assert result.n_train_complexes == 2
+        assert result.total_steps == 200
+        for ev in (
+            result.curriculum_eval,
+            result.single_eval,
+            result.untrained_eval,
+        ):
+            assert np.isfinite(ev.mean_best_score)
+
+    def test_summary(self, result):
+        out = result.summary()
+        assert "curriculum" in out
+        assert "untrained" in out
+
+    def test_needs_two_complexes(self):
+        cfg = ci_scale_config(episodes=4, seed=0, max_steps=10)
+        with pytest.raises(ValueError):
+            run_curriculum_experiment(cfg, n_train_complexes=1)

@@ -1,0 +1,44 @@
+"""Cross-complex generalization experiment."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.generalization import run_generalization_experiment
+
+
+class TestGeneralization:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.config import ci_scale_config
+
+        cfg = ci_scale_config(episodes=6, seed=0, max_steps=25)
+        return run_generalization_experiment(
+            cfg, n_targets=2, eval_episodes=2
+        )
+
+    def test_all_targets_evaluated(self, result):
+        assert len(result.outcomes) == 2
+        seeds = [o.target_seed for o in result.outcomes]
+        assert len(set(seeds)) == 2
+        assert all(s != result.source_seed for s in seeds)
+
+    def test_outcomes_finite(self, result):
+        for o in result.outcomes:
+            assert np.isfinite(o.transfer.mean_best_score)
+            assert np.isfinite(o.untrained.mean_best_score)
+            assert np.isfinite(o.scratch_best_score)
+
+    def test_scratch_is_a_meaningful_ceiling(self, result):
+        # Training directly on the target must at least match zero-shot
+        # evaluation-mean transfer on every target (it saw the complex).
+        for o in result.outcomes:
+            assert o.scratch_best_score >= o.transfer.mean_best_score - 20.0
+
+    def test_summary_table(self, result):
+        out = result.summary()
+        assert "Zero-shot generalization" in out
+        assert "scratch-trained" in out
+
+    def test_invalid_targets(self, tiny_run_config):
+        with pytest.raises(ValueError):
+            run_generalization_experiment(tiny_run_config, n_targets=0)

@@ -1,0 +1,71 @@
+"""Pose refinement (pattern search)."""
+
+import numpy as np
+import pytest
+
+from repro.metadock.pose import Pose
+from repro.metadock.refinement import refine_pose
+
+
+class TestRefinePose:
+    def test_never_worse(self, engine):
+        engine.reset()
+        start = engine.pose
+        result = refine_pose(engine, start, max_iterations=10)
+        assert result.improvement >= 0.0
+        assert result.score == pytest.approx(
+            engine.score_pose(result.pose), rel=1e-9
+        )
+
+    def test_improves_a_perturbed_crystal_pose(self, engine, small_complex):
+        # Start near the crystal pose but displaced: refinement should
+        # recover most of the gap.
+        crystal = Pose(
+            small_complex.ligand_crystal.centroid(),
+            Pose.identity().orientation,
+        )
+        perturbed = crystal.translated([1.2, -0.8, 0.6]).rotated("x", 0.3)
+        s_crystal = engine.score_pose(crystal)
+        s_perturbed = engine.score_pose(perturbed)
+        result = refine_pose(engine, perturbed)
+        assert result.score > s_perturbed
+        assert result.score >= 0.8 * s_crystal
+
+    def test_converges_at_local_optimum(self, engine, small_complex):
+        crystal = Pose(
+            small_complex.ligand_crystal.centroid(),
+            Pose.identity().orientation,
+        )
+        first = refine_pose(engine, crystal, tolerance=0.05)
+        second = refine_pose(engine, first.pose, tolerance=0.05)
+        # Re-refining an already-refined pose gains almost nothing.
+        assert second.improvement <= max(0.05 * abs(first.score), 1.0)
+
+    def test_deterministic(self, engine):
+        engine.reset()
+        a = refine_pose(engine, engine.pose, max_iterations=6)
+        b = refine_pose(engine, engine.pose, max_iterations=6)
+        assert a.score == pytest.approx(b.score)
+        np.testing.assert_allclose(
+            a.pose.translation, b.pose.translation
+        )
+
+    def test_refines_torsions(self, flex_engine):
+        flex_engine.reset()
+        pose = flex_engine.pose.twisted(0, 1.0)
+        result = refine_pose(flex_engine, pose, max_iterations=8)
+        assert result.improvement >= 0.0
+        assert len(result.pose.torsions) == 2
+
+    def test_invalid_args(self, engine):
+        engine.reset()
+        with pytest.raises(ValueError):
+            refine_pose(engine, engine.pose, shrink=1.0)
+        with pytest.raises(ValueError):
+            refine_pose(engine, engine.pose, tolerance=0.0)
+
+    def test_evaluation_budget_bounded(self, engine):
+        engine.reset()
+        result = refine_pose(engine, engine.pose, max_iterations=3)
+        # <= 1 + iterations * (6 translations + 6 rotations) probes.
+        assert result.evaluations <= 1 + 3 * 12

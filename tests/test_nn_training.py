@@ -1,0 +1,172 @@
+"""Losses, optimizers, checkpoints: values, convergence, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.nn.checkpoints import load_network, save_network
+from repro.nn.losses import HuberLoss, MSELoss, make_loss
+from repro.nn.network import build_mlp
+from repro.nn.optimizers import SGD, Adam, RMSprop, make_optimizer
+
+
+class TestMSELoss:
+    def test_value(self):
+        v, g = MSELoss()(np.array([1.0, 2.0]), np.array([0.0, 0.0]))
+        assert v == pytest.approx((1 + 4) / 2)
+        np.testing.assert_allclose(g, [1.0, 2.0])
+
+    def test_zero_at_target(self):
+        v, g = MSELoss()(np.array([3.0]), np.array([3.0]))
+        assert v == 0.0 and g[0] == 0.0
+
+    def test_weights(self):
+        v, _ = MSELoss()(
+            np.array([1.0, 1.0]), np.zeros(2), weights=np.array([2.0, 0.0])
+        )
+        assert v == pytest.approx(1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MSELoss()(np.zeros(2), np.zeros(3))
+
+
+class TestHuberLoss:
+    def test_quadratic_core(self):
+        v, g = HuberLoss(1.0)(np.array([0.5]), np.array([0.0]))
+        assert v == pytest.approx(0.125)
+        assert g[0] == pytest.approx(0.5)
+
+    def test_linear_tail(self):
+        v, g = HuberLoss(1.0)(np.array([3.0]), np.array([0.0]))
+        assert v == pytest.approx(1.0 * (3.0 - 0.5))
+        assert g[0] == pytest.approx(1.0)
+
+    def test_continuous_at_delta(self):
+        lo, _ = HuberLoss(1.0)(np.array([0.999999]), np.array([0.0]))
+        hi, _ = HuberLoss(1.0)(np.array([1.000001]), np.array([0.0]))
+        assert hi == pytest.approx(lo, rel=1e-4)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            HuberLoss(0.0)
+
+    def test_factory(self):
+        assert isinstance(make_loss("mse"), MSELoss)
+        assert isinstance(make_loss("huber", delta=2.0), HuberLoss)
+        with pytest.raises(ValueError):
+            make_loss("hinge")
+
+
+def _quadratic_problem(opt_cls, lr, steps=200, **kw):
+    """Minimize ||p||^2 from a fixed start; returns the final norm."""
+    p = np.array([3.0, -2.0, 1.0])
+    g = np.zeros(3)
+    opt = opt_cls([p], [g], lr, **kw)
+    for _ in range(steps):
+        g[...] = 2 * p
+        opt.step()
+    return float(np.linalg.norm(p))
+
+
+class TestOptimizers:
+    def test_sgd_converges(self):
+        assert _quadratic_problem(SGD, 0.1) < 1e-6
+
+    def test_sgd_momentum_converges(self):
+        assert _quadratic_problem(SGD, 0.05, momentum=0.9) < 1e-4
+
+    def test_rmsprop_converges(self):
+        assert _quadratic_problem(RMSprop, 0.05, steps=600) < 0.05
+
+    def test_adam_converges(self):
+        assert _quadratic_problem(Adam, 0.1, steps=600) < 1e-4
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([np.zeros(1)], [np.zeros(1)], lr=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([np.zeros(1)], [np.zeros(1)], 0.1, momentum=1.0)
+
+    def test_misaligned_params_grads(self):
+        with pytest.raises(ValueError):
+            SGD([np.zeros(1)], [], 0.1)
+
+    def test_gradient_clipping(self):
+        p = np.array([0.0])
+        g = np.array([1000.0])
+        opt = SGD([p], [g], lr=1.0, max_grad_norm=1.0)
+        opt.step()
+        assert p[0] == pytest.approx(-1.0)
+
+    def test_clipping_leaves_small_grads(self):
+        p = np.array([0.0])
+        g = np.array([0.5])
+        SGD([p], [g], lr=1.0, max_grad_norm=1.0).step()
+        assert p[0] == pytest.approx(-0.5)
+
+    def test_factory(self):
+        p, g = [np.zeros(2)], [np.zeros(2)]
+        assert isinstance(make_optimizer("rmsprop", p, g, 0.001), RMSprop)
+        assert isinstance(make_optimizer("adam", p, g, 0.001), Adam)
+        assert isinstance(make_optimizer("sgd", p, g, 0.001), SGD)
+        with pytest.raises(ValueError):
+            make_optimizer("lbfgs", p, g, 0.001)
+
+    def test_updates_in_place(self):
+        p = np.array([1.0])
+        g = np.array([1.0])
+        opt = SGD([p], [g], lr=0.5)
+        ref = p  # same object
+        opt.step()
+        assert ref[0] == pytest.approx(0.5)
+
+
+class TestNetworkRegression:
+    def test_rmsprop_fits_toy_function(self, rng):
+        net = build_mlp(2, (24, 24), 1, rng=0)
+        opt = RMSprop(net.params(), net.grads(), lr=1e-3)
+        loss = MSELoss()
+        X = rng.normal(size=(256, 2))
+        Y = (X[:, :1] * X[:, 1:2])  # product: needs the hidden layer
+        initial = loss(net.predict(X), Y)[0]
+        for _ in range(400):
+            idx = rng.integers(0, 256, size=32)
+            net.zero_grad()
+            pred = net.forward(X[idx])
+            _v, grad = loss(pred, Y[idx])
+            net.backward(grad)
+            opt.step()
+        final = loss(net.predict(X), Y)[0]
+        assert final < 0.3 * initial
+
+
+class TestCheckpoints:
+    def test_roundtrip(self, tmp_path, rng):
+        net = build_mlp(4, (6,), 2, rng=0)
+        path = tmp_path / "w.npz"
+        save_network(net, path)
+        other = build_mlp(4, (6,), 2, rng=99)
+        load_network(other, path)
+        x = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(net.predict(x), other.predict(x))
+
+    def test_shape_mismatch_leaves_net_untouched(self, tmp_path, rng):
+        net = build_mlp(4, (6,), 2, rng=0)
+        path = tmp_path / "w.npz"
+        save_network(net, path)
+        other = build_mlp(4, (7,), 2, rng=1)
+        x = rng.normal(size=(2, 4))
+        before = other.predict(x)
+        with pytest.raises(ValueError):
+            load_network(other, path)
+        np.testing.assert_allclose(other.predict(x), before)
+
+    def test_wrong_array_count_rejected(self, tmp_path):
+        net = build_mlp(4, (6,), 2, rng=0)
+        path = tmp_path / "w.npz"
+        save_network(net, path)
+        deeper = build_mlp(4, (6, 6), 2, rng=0)
+        with pytest.raises(ValueError):
+            load_network(deeper, path)

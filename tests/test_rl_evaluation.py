@@ -1,0 +1,91 @@
+"""Policy evaluation protocol and the periodic-evaluation callback."""
+
+import numpy as np
+import pytest
+
+from repro.rl.evaluation import (
+    EvaluationResult,
+    PeriodicEvaluator,
+    evaluate_policy,
+)
+from repro.rl.trainer import Trainer
+
+from tests.test_rl_trainer import CountingEnv, tiny_agent
+
+
+class RmsdEnv(CountingEnv):
+    """CountingEnv that also reports a crystal RMSD shrinking with score."""
+
+    def step(self, action):
+        state, reward, done, info = super().step(action)
+        info["crystal_rmsd"] = max(0.5, 10.0 - info["score"])
+        return state, reward, done, info
+
+
+class TestEvaluatePolicy:
+    def test_aggregates(self):
+        env = RmsdEnv(horizon=6)
+        agent = tiny_agent()
+        result = evaluate_policy(
+            env, agent, episodes=3, max_steps=6, epsilon=0.0, rng=0
+        )
+        assert result.episodes == 3
+        assert result.mean_episode_length == 6.0
+        assert np.isfinite(result.mean_best_score)
+        assert result.max_best_score >= result.mean_best_score
+        assert np.isfinite(result.mean_min_rmsd)
+
+    def test_success_rate_threshold(self):
+        env = RmsdEnv(horizon=12)
+        agent = tiny_agent()
+        # Train so the greedy policy pushes score up -> rmsd down to 0.5.
+        Trainer(env, agent, episodes=25, max_steps_per_episode=12).run()
+        result = evaluate_policy(
+            env, agent, episodes=4, max_steps=12, epsilon=0.0,
+            rmsd_threshold=2.0, rng=0,
+        )
+        assert result.success_rate == 1.0
+
+    def test_epsilon_randomness_reproducible(self):
+        env = RmsdEnv()
+        agent = tiny_agent()
+        a = evaluate_policy(env, agent, episodes=2, max_steps=8, epsilon=0.5, rng=7)
+        b = evaluate_policy(env, agent, episodes=2, max_steps=8, epsilon=0.5, rng=7)
+        assert a == b
+
+    def test_invalid_args(self):
+        env = RmsdEnv()
+        agent = tiny_agent()
+        with pytest.raises(ValueError):
+            evaluate_policy(env, agent, episodes=0)
+        with pytest.raises(ValueError):
+            evaluate_policy(env, agent, epsilon=1.5)
+
+    def test_summary_string(self):
+        r = EvaluationResult(2, 1.0, 2.0, 5.0, 1.5, 0.5)
+        assert "success@2A" in r.summary() or "success" in r.summary()
+
+    def test_on_real_docking_env(self, env):
+        agent = tiny_agent(state_dim=env.state_dim, n_actions=env.n_actions)
+        result = evaluate_policy(env, agent, episodes=2, max_steps=10, rng=1)
+        assert np.isfinite(result.mean_best_score)
+        assert np.isfinite(result.mean_min_rmsd)
+
+
+class TestPeriodicEvaluator:
+    def test_fires_on_schedule(self):
+        env = RmsdEnv(horizon=5)
+        agent = tiny_agent()
+        evaluator = PeriodicEvaluator(
+            env, agent, every=4, episodes=2, max_steps=5
+        )
+        Trainer(
+            env, agent, episodes=12, max_steps_per_episode=5,
+            on_episode_end=evaluator,
+        ).run()
+        assert [e for e, _r in evaluator.results] == [3, 7, 11]
+        assert evaluator.score_series().shape == (3,)
+
+    def test_invalid_every(self):
+        with pytest.raises(ValueError):
+            PeriodicEvaluator(RmsdEnv(), tiny_agent(), every=0)

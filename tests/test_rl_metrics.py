@@ -1,0 +1,64 @@
+"""Training-history docking metrics (RMSD tracking, success rate)."""
+
+import numpy as np
+import pytest
+
+from repro.rl.trainer import EpisodeStats, TrainingHistory
+
+
+def _stats(rmsd, episode=0):
+    return EpisodeStats(
+        episode=episode,
+        steps=5,
+        total_reward=0.0,
+        avg_max_q=1.0,
+        best_score=0.0,
+        final_score=0.0,
+        epsilon=0.1,
+        mean_loss=0.0,
+        learning_active=True,
+        termination="x",
+        min_crystal_rmsd=rmsd,
+    )
+
+
+class TestRmsdSeries:
+    def test_series_values(self):
+        h = TrainingHistory(episodes=[_stats(1.5), _stats(3.0)])
+        np.testing.assert_allclose(h.rmsd_series(), [1.5, 3.0])
+
+    def test_success_rate(self):
+        h = TrainingHistory(
+            episodes=[_stats(1.0), _stats(1.9), _stats(2.5), _stats(8.0)]
+        )
+        assert h.docking_success_rate(2.0) == pytest.approx(0.5)
+
+    def test_success_rate_ignores_nan(self):
+        h = TrainingHistory(
+            episodes=[_stats(float("nan")), _stats(1.0)]
+        )
+        assert h.docking_success_rate(2.0) == pytest.approx(1.0)
+
+    def test_success_rate_all_nan(self):
+        h = TrainingHistory(episodes=[_stats(float("nan"))])
+        assert h.docking_success_rate() == 0.0
+
+    def test_empty_history(self):
+        assert TrainingHistory().docking_success_rate() == 0.0
+
+
+class TestRmsdFromRealEnv:
+    def test_trainer_records_rmsd(self, tiny_run_config):
+        from repro.experiments.figure4 import run_figure4_experiment
+
+        result = run_figure4_experiment(tiny_run_config)
+        rmsd = result.history.rmsd_series()
+        assert rmsd.shape == (tiny_run_config.episodes,)
+        assert np.isfinite(rmsd).all()
+        assert (rmsd[np.isfinite(rmsd)] > 0).all()
+
+    def test_rmsd_decreases_when_moving_to_crystal(self, env):
+        env.reset()
+        d0 = env.step(5)[3]["crystal_rmsd"]  # -z: toward the pocket
+        d1 = env.step(5)[3]["crystal_rmsd"]
+        assert d1 < d0

@@ -1,0 +1,147 @@
+"""Pluggable scorers: exact/cutoff/grid agreement and engine wiring."""
+
+import numpy as np
+import pytest
+
+from repro.metadock.engine import MetadockEngine
+from repro.scoring.composite import interaction_score
+from repro.scoring.scorers import (
+    CutoffScorer,
+    ExactScorer,
+    GridScorer,
+    make_scorer,
+)
+
+
+@pytest.fixture(scope="module")
+def pair(small_complex):
+    lig = small_complex.ligand_crystal
+    template = lig.with_coords(lig.coords - lig.centroid())
+    return small_complex.receptor, template, lig.coords
+
+
+class TestExactScorer:
+    def test_matches_interaction_score(self, pair, small_complex):
+        rec, template, coords = pair
+        scorer = ExactScorer(rec, template)
+        assert scorer.score(coords) == pytest.approx(
+            interaction_score(small_complex.receptor, small_complex.ligand_crystal)
+        )
+
+    def test_batch_matches_single(self, pair, rng):
+        rec, template, coords = pair
+        scorer = ExactScorer(rec, template)
+        batch = coords[None] + rng.normal(scale=1.0, size=(4, 1, 3))
+        out = scorer.score_batch(batch)
+        for k in range(4):
+            assert out[k] == pytest.approx(scorer.score(batch[k]), rel=1e-9)
+
+
+class TestCutoffScorer:
+    def test_converges_to_exact(self, pair):
+        rec, template, coords = pair
+        exact = ExactScorer(rec, template).score(coords)
+        errors = []
+        for cutoff in (6.0, 12.0, 24.0):
+            approx = CutoffScorer(rec, template, cutoff=cutoff).score(coords)
+            errors.append(abs(approx - exact))
+        assert errors[-1] <= errors[0]
+        assert errors[-1] < 0.05 * max(abs(exact), 1.0)
+
+    def test_huge_unshifted_cutoff_is_exact(self, pair):
+        rec, template, coords = pair
+        exact = ExactScorer(rec, template).score(coords)
+        full = CutoffScorer(
+            rec, template, cutoff=1000.0, shifted=False
+        ).score(coords)
+        assert full == pytest.approx(exact, rel=1e-9)
+
+    def test_shift_vanishes_with_cutoff(self, pair):
+        rec, template, coords = pair
+        exact = ExactScorer(rec, template).score(coords)
+        shifted = CutoffScorer(rec, template, cutoff=1e6).score(coords)
+        assert shifted == pytest.approx(exact, rel=1e-4)
+
+    def test_far_pose_scores_zero(self, pair):
+        rec, template, coords = pair
+        scorer = CutoffScorer(rec, template, cutoff=8.0)
+        assert scorer.score(coords + 500.0) == 0.0
+
+    def test_batch_matches_single(self, pair, rng):
+        rec, template, coords = pair
+        scorer = CutoffScorer(rec, template, cutoff=10.0)
+        batch = coords[None] + rng.normal(scale=1.0, size=(3, 1, 3))
+        out = scorer.score_batch(batch)
+        for k in range(3):
+            assert out[k] == pytest.approx(scorer.score(batch[k]))
+
+    def test_invalid_cutoff(self, pair):
+        rec, template, _ = pair
+        with pytest.raises(ValueError):
+            CutoffScorer(rec, template, cutoff=0.0)
+
+    def test_clash_still_catastrophic(self, pair):
+        rec, template, _coords = pair
+        scorer = CutoffScorer(rec, template, cutoff=10.0)
+        clash = np.tile(rec.coords[0], (template.n_atoms, 1))
+        assert scorer.score(clash) < -1e6
+
+
+class TestGridScorer:
+    def test_rough_agreement(self, pair):
+        rec, template, coords = pair
+        exact = ExactScorer(rec, template).score(coords)
+        approx = GridScorer(rec, template, spacing=0.8).score(coords)
+        assert approx == pytest.approx(exact, rel=0.5)
+
+    def test_batch(self, pair):
+        rec, template, coords = pair
+        scorer = GridScorer(rec, template, spacing=1.5)
+        out = scorer.score_batch(np.stack([coords, coords + 1.0]))
+        assert out.shape == (2,)
+
+
+class TestFactoryAndEngine:
+    def test_factory(self, pair):
+        rec, template, _ = pair
+        assert isinstance(make_scorer("exact", rec, template), ExactScorer)
+        assert isinstance(
+            make_scorer("cutoff", rec, template, cutoff=9.0), CutoffScorer
+        )
+        assert isinstance(
+            make_scorer("grid", rec, template, spacing=2.0), GridScorer
+        )
+        with pytest.raises(ValueError):
+            make_scorer("quantum", rec, template)
+
+    def test_engine_cutoff_mode(self, small_complex):
+        exact_eng = MetadockEngine(small_complex)
+        cut_eng = MetadockEngine(
+            small_complex,
+            scoring_method="cutoff",
+            scoring_kwargs={"cutoff": 1000.0, "shifted": False},
+        )
+        exact_eng.reset()
+        cut_eng.reset()
+        assert cut_eng.score() == pytest.approx(exact_eng.score(), rel=1e-9)
+
+    def test_engine_grid_mode_runs(self, small_complex):
+        eng = MetadockEngine(
+            small_complex,
+            scoring_method="grid",
+            scoring_kwargs={"spacing": 1.5},
+        )
+        obs = eng.reset()
+        assert np.isfinite(obs.score)
+
+    def test_engine_scorer_used_for_batches(self, small_complex):
+        eng = MetadockEngine(
+            small_complex,
+            scoring_method="cutoff",
+            scoring_kwargs={"cutoff": 12.0},
+        )
+        eng.reset()
+        poses = [eng.pose, eng.pose.translated([1.0, 0, 0])]
+        batch = eng.score_poses(poses)
+        singles = [eng.score_pose(p) for p in poses]
+        np.testing.assert_allclose(batch, singles)
