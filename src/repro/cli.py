@@ -9,7 +9,14 @@ reproducible without writing Python:
 - ``baselines``     -- DQN vs Monte Carlo vs metaheuristics (Section 4);
 - ``comm-ablation`` -- RAM vs file engine<->agent channel (limitation 1);
 - ``screen``        -- virtual-screen a synthetic ligand library;
-- ``blind``         -- blind docking over receptor surface spots.
+- ``blind``         -- blind docking over receptor surface spots;
+- ``inspect``       -- summarize a telemetry run directory.
+
+Every experiment subcommand accepts ``--log-dir DIR``: the run then
+leaves ``manifest.json`` / ``events.jsonl`` / ``metrics.csv`` behind
+(full per-step telemetry for ``figure4``, manifest + result events for
+the rest), which ``repro inspect DIR`` renders without re-running
+anything.
 """
 
 from __future__ import annotations
@@ -24,6 +31,47 @@ from repro.version import __version__
 
 def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=0, help="master seed")
+    p.add_argument(
+        "--log-dir",
+        default=None,
+        help="write telemetry (manifest.json/events.jsonl/metrics.csv) here",
+    )
+
+
+def _open_telemetry(args, command: str, config=None):
+    """A TelemetryRun for ``--log-dir`` (None when the flag is absent)."""
+    log_dir = getattr(args, "log_dir", None)
+    if not log_dir:
+        return None
+    from repro.telemetry import TelemetryRun
+
+    return TelemetryRun(
+        log_dir,
+        command=command,
+        seed=getattr(args, "seed", None),
+        config=config,
+    )
+
+
+def _telemetered(args, command: str, config, work) -> int:
+    """Run ``work(telemetry)`` under an optional telemetry run.
+
+    ``work`` returns ``(exit_code, summary_text)``.  With ``--log-dir``
+    set, the manifest brackets the work, a ``result`` event records the
+    summary, and a crash finalizes the manifest with status ``failed``
+    before re-raising -- so every invocation leaves an inspectable
+    record.  ``figure4`` additionally threads per-step telemetry
+    through the trainer (see :func:`_cmd_figure4`).
+    """
+    telemetry = _open_telemetry(args, command, config)
+    if telemetry is None:
+        code, _ = work(None)
+        return code
+    with telemetry:
+        code, summary = work(telemetry)
+        telemetry.emit("result", ok=code == 0, summary=summary)
+    print(f"[telemetry] wrote {telemetry.dir}")
+    return code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -108,6 +156,11 @@ def build_parser() -> argparse.ArgumentParser:
         "values", nargs="+", help="values (parsed as float/int when numeric)"
     )
     p.add_argument("--episodes", type=int, default=15)
+
+    p = sub.add_parser(
+        "inspect", help="summarize a telemetry run directory"
+    )
+    p.add_argument("run_dir", help="directory written via --log-dir")
     return parser
 
 
@@ -138,9 +191,15 @@ def _cmd_geometry(args) -> int:
         rotatable_bonds=2,
         seed=args.seed + 2018,
     )
-    report = run_geometry_experiment(cfg)
-    print(report.summary())
-    return 0 if (report.pocket_is_optimum and report.overlap_is_catastrophic) else 1
+
+    def work(_telemetry):
+        report = run_geometry_experiment(cfg)
+        text = report.summary()
+        print(text)
+        ok = report.pocket_is_optimum and report.overlap_is_catastrophic
+        return (0 if ok else 1), text
+
+    return _telemetered(args, "geometry", cfg, work)
 
 
 def _cmd_figure4(args) -> int:
@@ -153,26 +212,41 @@ def _cmd_figure4(args) -> int:
         learning_rate=args.learning_rate,
         variant=args.variant,
     )
-    result = run_figure4_experiment(cfg)
-    print(result.summary())
-    return 0
+
+    def work(telemetry):
+        result = run_figure4_experiment(cfg, telemetry=telemetry)
+        text = result.summary()
+        print(text)
+        return 0, text
+
+    return _telemetered(args, "figure4", cfg, work)
 
 
 def _cmd_baselines(args) -> int:
     from repro.experiments.baselines import run_baseline_comparison
 
     cfg = ci_scale_config(episodes=40, seed=args.seed, learning_rate=0.002)
-    comp = run_baseline_comparison(cfg, budget=args.budget)
-    print(comp.summary())
-    return 0
+
+    def work(_telemetry):
+        comp = run_baseline_comparison(cfg, budget=args.budget)
+        text = comp.summary()
+        print(text)
+        return 0, text
+
+    return _telemetered(args, "baselines", cfg, work)
 
 
 def _cmd_comm_ablation(args) -> int:
     from repro.experiments.ablations import run_comm_ablation
 
     cfg = ci_scale_config(episodes=4, seed=args.seed)
-    print(run_comm_ablation(cfg, steps=args.steps).summary())
-    return 0
+
+    def work(_telemetry):
+        text = run_comm_ablation(cfg, steps=args.steps).summary()
+        print(text)
+        return 0, text
+
+    return _telemetered(args, "comm-ablation", cfg, work)
 
 
 def _cmd_screen(args) -> int:
@@ -182,28 +256,31 @@ def _cmd_screen(args) -> int:
     from repro.utils.tables import render_table
 
     cfg = ci_scale_config(episodes=1, seed=args.seed).complex
-    built = build_complex(cfg)
-    library = generate_library(cfg, args.ligands, seed=args.seed)
-    hits = screen_library(
-        built,
-        library,
-        strategy=args.strategy,
-        budget=args.budget,
-        seed=args.seed,
-    )
-    rows = [
-        (k + 1, h.compound_id, h.n_atoms, f"{h.best_score:.2f}")
-        for k, h in enumerate(hits)
-    ]
-    print(
-        render_table(
+
+    def work(_telemetry):
+        built = build_complex(cfg)
+        library = generate_library(cfg, args.ligands, seed=args.seed)
+        hits = screen_library(
+            built,
+            library,
+            strategy=args.strategy,
+            budget=args.budget,
+            seed=args.seed,
+        )
+        rows = [
+            (k + 1, h.compound_id, h.n_atoms, f"{h.best_score:.2f}")
+            for k, h in enumerate(hits)
+        ]
+        text = render_table(
             ["rank", "compound", "atoms", "best score"],
             rows,
             title=f"Virtual screening ({args.strategy})",
             align=["r", "l", "r", "r"],
         )
-    )
-    return 0
+        print(text)
+        return 0, text
+
+    return _telemetered(args, "screen", cfg, work)
 
 
 def _cmd_blind(args) -> int:
@@ -211,20 +288,25 @@ def _cmd_blind(args) -> int:
     from repro.metadock.blind import blind_dock
 
     cfg = ci_scale_config(episodes=1, seed=args.seed).complex
-    built = build_complex(cfg)
-    result = blind_dock(
-        built,
-        n_spots=args.spots,
-        budget_per_spot=args.budget,
-        seed=args.seed,
-        n_workers=args.workers,
-    )
-    print(result.summary())
-    print(
-        f"\nbest site is {result.best.pocket_distance:.1f} A from the "
-        f"true pocket center"
-    )
-    return 0
+
+    def work(_telemetry):
+        built = build_complex(cfg)
+        result = blind_dock(
+            built,
+            n_spots=args.spots,
+            budget_per_spot=args.budget,
+            seed=args.seed,
+            n_workers=args.workers,
+        )
+        text = (
+            result.summary()
+            + f"\n\nbest site is {result.best.pocket_distance:.1f} A from "
+            f"the true pocket center"
+        )
+        print(text)
+        return 0, text
+
+    return _telemetered(args, "blind", cfg, work)
 
 
 def _cmd_reward_ablation(args) -> int:
@@ -233,9 +315,14 @@ def _cmd_reward_ablation(args) -> int:
     cfg = ci_scale_config(
         episodes=args.episodes, seed=args.seed, learning_rate=0.002
     )
-    result = run_reward_ablation(cfg, schemes=tuple(args.schemes))
-    print(result.summary())
-    return 0
+
+    def work(_telemetry):
+        result = run_reward_ablation(cfg, schemes=tuple(args.schemes))
+        text = result.summary()
+        print(text)
+        return 0, text
+
+    return _telemetered(args, "reward-ablation", cfg, work)
 
 
 def _parse_value(text: str):
@@ -255,10 +342,17 @@ def _cmd_sweep(args) -> int:
         episodes=args.episodes, seed=args.seed, learning_rate=0.002
     )
     values = [_parse_value(v) for v in args.values]
-    result = run_sweep(cfg, args.parameter, values)
-    print(result.summary())
-    print(f"\nbest setting: {args.parameter} = {result.best_setting()}")
-    return 0
+
+    def work(_telemetry):
+        result = run_sweep(cfg, args.parameter, values)
+        text = (
+            result.summary()
+            + f"\n\nbest setting: {args.parameter} = {result.best_setting()}"
+        )
+        print(text)
+        return 0, text
+
+    return _telemetered(args, "sweep", cfg, work)
 
 
 def _cmd_report(args) -> int:
@@ -275,6 +369,17 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_inspect(args) -> int:
+    from repro.telemetry.summary import render_summary
+
+    try:
+        print(render_summary(args.run_dir))
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "geometry": _cmd_geometry,
@@ -286,6 +391,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "reward-ablation": _cmd_reward_ablation,
     "sweep": _cmd_sweep,
+    "inspect": _cmd_inspect,
 }
 
 

@@ -45,12 +45,18 @@ class DockingEnv:
         comm: CommChannel | None = None,
         randomize_reset: bool = False,
         reset_rng=None,
+        tracer=None,
     ):
         if escape_factor <= 1.0:
             raise ValueError("escape_factor must exceed 1.0")
         if low_score_patience < 1:
             raise ValueError("low_score_patience must be >= 1")
         self.engine = engine
+        #: Optional :class:`repro.telemetry.spans.SpanTracer`; when set,
+        #: each step records "engine-step" (move + observe) and
+        #: "comm-exchange" spans so the paper's limitation-1 split is
+        #: measurable per run.
+        self.tracer = tracer
         self.escape_factor = float(escape_factor)
         self.low_score_patience = int(low_score_patience)
         self.low_score_threshold = float(low_score_threshold)
@@ -93,9 +99,17 @@ class DockingEnv:
             )
         if math.isnan(self._last_score):
             raise RuntimeError("step() called before reset()")
-        self.engine.apply_action(int(action))
-        obs = self.engine.observe()
-        state, score = self.comm.exchange(obs.state, obs.score)
+        tr = self.tracer
+        if tr is None:
+            self.engine.apply_action(int(action))
+            obs = self.engine.observe()
+            state, score = self.comm.exchange(obs.state, obs.score)
+        else:
+            with tr.span("engine-step"):
+                self.engine.apply_action(int(action))
+                obs = self.engine.observe()
+            with tr.span("comm-exchange"):
+                state, score = self.comm.exchange(obs.state, obs.score)
 
         # Paper reward rules: sign of the clipped score change.
         delta = score - self._last_score

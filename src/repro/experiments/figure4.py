@@ -113,17 +113,32 @@ def build_agent(cfg: DQNDockingConfig, state_dim: int, n_actions: int):
 
 
 def run_figure4_experiment(
-    cfg: DQNDockingConfig, *, on_episode_end=None
+    cfg: DQNDockingConfig, *, on_episode_end=None, telemetry=None
 ) -> Figure4Result:
     """Train DQN-Docking per Algorithm 2 and collect the Figure 4 series.
 
     At :data:`repro.config.PAPER_CONFIG` scale this is the full Section 4
     experiment (hours); tests and benches use
     :func:`repro.config.ci_scale_config` presets.
+
+    ``telemetry`` is an optional
+    :class:`~repro.telemetry.run.TelemetryRun`: its tracer is threaded
+    through trainer, agent, environment, and engine (so spans nest as
+    train/episode/env-step/engine-step/score), and its callback streams
+    per-step/per-episode events.  The caller owns finalization.
     """
     env = make_env(cfg)
+    callbacks = []
+    tracer = None
+    if telemetry is not None:
+        tracer = telemetry.tracer
+        callbacks.append(telemetry.callback())
+        env.tracer = tracer
+        env.engine.tracer = tracer
     try:
         agent = build_agent(cfg, env.state_dim, env.n_actions)
+        if tracer is not None:
+            agent.tracer = tracer
         trainer = Trainer(
             env,
             agent,
@@ -133,6 +148,8 @@ def run_figure4_experiment(
             target_update_steps=cfg.target_update_steps,
             train_interval=cfg.train_interval,
             on_episode_end=on_episode_end,
+            callbacks=callbacks,
+            tracer=tracer,
         )
         history = trainer.run()
     finally:

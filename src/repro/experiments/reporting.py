@@ -23,7 +23,7 @@ from repro.experiments.table1 import render_table1, verify_paper_defaults
 from repro.metadock.blind import blind_dock
 from repro.scoring.composite import interaction_score
 from repro.scoring.reference import sequential_score_algorithm1
-from repro.version import __version__
+from repro.telemetry.manifest import RunManifest
 
 
 def _section_table1() -> str:
@@ -161,10 +161,23 @@ def generate_report(*, quick: bool = True) -> str:
         rotatable_bonds=2,
         seed=2018,
     )
-    clock = time.perf_counter()
+    manifest = RunManifest.create(
+        "report", seed=0, config={"quick": quick}
+    )
+    provenance = ", ".join(
+        p
+        for p in (
+            f"repro {manifest.version}",
+            f"run `{manifest.run_id}`",
+            f"seed {manifest.seed}",
+            f"git `{manifest.git_sha[:12]}`" if manifest.git_sha else None,
+            f"started {manifest.started_at}",
+        )
+        if p
+    )
     sections = [
         "# EXPERIMENTS — paper vs. measured\n\n"
-        f"Generated by `python -m repro report` (repro {__version__}). "
+        f"Generated by `python -m repro report` ({provenance}). "
         "All numbers below are measured at reduced (CI) scale; the "
         "paper-scale pipeline is exercised by `examples/paper_scale.py`. "
         "Shape agreement — who wins, what rises/declines, where "
@@ -179,7 +192,9 @@ def generate_report(*, quick: bool = True) -> str:
         _section_comm(quick),
         _section_blind(geo_cfg, quick),
     ]
+    manifest.finalize()
     sections.append(
-        f"\n---\nreport wall time: {time.perf_counter() - clock:.1f}s\n"
+        f"\n---\nrun `{manifest.run_id}` finished {manifest.finished_at}; "
+        f"report wall time: {manifest.duration_seconds:.1f}s\n"
     )
     return "\n".join(sections)

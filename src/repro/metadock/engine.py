@@ -131,6 +131,10 @@ class MetadockEngine:
         self._coords_cache: np.ndarray | None = None
         self._score_cache: float | None = None
         self.score_evaluations = 0
+        #: Optional :class:`repro.telemetry.spans.SpanTracer`; when set,
+        #: fresh scorer evaluations record a "score" span (cache hits
+        #: stay untimed, so the span count equals real evaluations).
+        self.tracer = None
 
     # -- action space -------------------------------------------------------
     @property
@@ -200,7 +204,13 @@ class MetadockEngine:
     def score(self) -> float:
         """Score of the current pose under the configured scorer (cached)."""
         if self._score_cache is None:
-            self._score_cache = self.scorer.score(self.ligand_coords())
+            if self.tracer is None:
+                self._score_cache = self.scorer.score(self.ligand_coords())
+            else:
+                with self.tracer.span("score"):
+                    self._score_cache = self.scorer.score(
+                        self.ligand_coords()
+                    )
             self.score_evaluations += 1
         return self._score_cache
 

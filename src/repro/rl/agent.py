@@ -15,6 +15,7 @@ lives in :mod:`repro.rl.distributional`.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -212,6 +213,12 @@ class DQNAgent:
             self._nstep = None
         self.learn_steps = 0
         self.target_syncs = 0
+        #: Optional :class:`repro.telemetry.spans.SpanTracer`; when set,
+        #: the forward pass and the learn internals record spans
+        #: ("q-forward", "replay-sample", "grad-step") under whatever
+        #: span the caller has open.  None (default) costs one attribute
+        #: check per call.
+        self.tracer = None
 
     # -- acting ----------------------------------------------------------
     def predict_q(self, state: np.ndarray) -> np.ndarray:
@@ -230,7 +237,11 @@ class DQNAgent:
             from repro.nn.noisy import resample_network_noise
 
             resample_network_noise(self.q_net)
-        q = self.predict_q(state)
+        if self.tracer is None:
+            q = self.predict_q(state)
+        else:
+            with self.tracer.span("q-forward"):
+                q = self.predict_q(state)
         return self.policy.select(q, global_step), q
 
     def greedy_action(self, state: np.ndarray) -> int:
@@ -288,7 +299,11 @@ class DQNAgent:
 
             resample_network_noise(self.q_net)
             resample_network_noise(self.target_net)
-        batch = self.replay.sample(cfg.minibatch_size)
+        sp = self.tracer.span if self.tracer is not None else (
+            lambda _name: nullcontext()
+        )
+        with sp("replay-sample"):
+            batch = self.replay.sample(cfg.minibatch_size)
         b = len(batch)
 
         q_next_target = self.target_net.predict(batch.next_states)  # (b, k)
@@ -304,17 +319,18 @@ class DQNAgent:
             ~batch.terminals
         )
 
-        self.q_net.zero_grad()
-        preds = self.q_net.forward(batch.states, train=True)  # (b, k)
-        pred_chosen = preds[np.arange(b), batch.actions]
-        td_errors = pred_chosen - targets
-        loss_value, grad_chosen = self.loss_fn(
-            pred_chosen, targets, weights=batch.weights
-        )
-        grad_out = np.zeros_like(preds)
-        grad_out[np.arange(b), batch.actions] = grad_chosen
-        self.q_net.backward(grad_out)
-        self.optimizer.step()
+        with sp("grad-step"):
+            self.q_net.zero_grad()
+            preds = self.q_net.forward(batch.states, train=True)  # (b, k)
+            pred_chosen = preds[np.arange(b), batch.actions]
+            td_errors = pred_chosen - targets
+            loss_value, grad_chosen = self.loss_fn(
+                pred_chosen, targets, weights=batch.weights
+            )
+            grad_out = np.zeros_like(preds)
+            grad_out[np.arange(b), batch.actions] = grad_chosen
+            self.q_net.backward(grad_out)
+            self.optimizer.step()
         self.learn_steps += 1
 
         if isinstance(self.replay, PrioritizedReplayMemory):

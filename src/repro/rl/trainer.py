@@ -9,13 +9,15 @@ the series plotted in Figure 4.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Protocol, Sequence
 
 import numpy as np
 
+from repro.telemetry.callbacks import CallbackList, StepInfo, TrainerCallback
+from repro.telemetry.spans import SpanTracer
 from repro.utils.ascii_plot import ascii_line_plot, sparkline
-from repro.utils.timers import Timer
 
 
 class SupportsEnv(Protocol):
@@ -138,6 +140,17 @@ class Trainer:
         Table 1's C -- target sync period in *global environment steps*.
     train_interval:
         Gradient steps every this many environment steps.
+    callbacks:
+        :class:`~repro.telemetry.callbacks.TrainerCallback` hooks; they
+        receive episode boundaries and per-step
+        :class:`~repro.telemetry.callbacks.StepInfo` records.  With no
+        callbacks registered the per-step hook machinery is skipped
+        entirely.
+    tracer:
+        Shared :class:`~repro.telemetry.spans.SpanTracer`; pass the one
+        owned by a :class:`~repro.telemetry.run.TelemetryRun` so
+        trainer phases nest with agent/env/engine spans.  A private
+        tracer is created when omitted (it feeds ``timer_report``).
     """
 
     def __init__(
@@ -151,6 +164,8 @@ class Trainer:
         target_update_steps: int = 1000,
         train_interval: int = 1,
         on_episode_end=None,
+        callbacks: Sequence[TrainerCallback] | None = None,
+        tracer: SpanTracer | None = None,
     ):
         if episodes < 1 or max_steps_per_episode < 1:
             raise ValueError("episodes and max_steps must be >= 1")
@@ -162,83 +177,121 @@ class Trainer:
         self.target_update_steps = max(1, int(target_update_steps))
         self.train_interval = max(1, int(train_interval))
         self.on_episode_end = on_episode_end
+        self.callbacks = CallbackList(callbacks)
+        self.tracer = tracer
 
     def run(self) -> TrainingHistory:
         """Execute the full training run."""
-        timer = Timer()
+        tracer = self.tracer if self.tracer is not None else SpanTracer()
+        cb = self.callbacks
+        notify = len(cb) > 0
         history = TrainingHistory()
         global_step = 0
-        import time
 
         t0 = time.perf_counter()
-        for ep in range(self.episodes):
-            state = self.env.reset()
-            max_qs: list[float] = []
-            losses: list[float] = []
-            total_reward = 0.0
-            best_score = float("-inf")
-            final_score = float("nan")
-            min_rmsd = float("nan")
-            termination = "time-limit"
-            learning_active = False
-            steps = 0
-            for _t in range(self.max_steps):
-                with timer.section("act"):
-                    action, q = self.agent.act(state, global_step)
-                max_qs.append(float(np.max(q)))
-                with timer.section("env-step"):
-                    next_state, reward, done, info = self.env.step(action)
-                self.agent.remember(state, action, reward, next_state, done)
-                state = next_state
-                total_reward += reward
-                score = info.get("score", float("nan"))
-                if np.isfinite(score):
-                    best_score = max(best_score, score)
-                    final_score = score
-                rmsd = info.get("crystal_rmsd", float("nan"))
-                if np.isfinite(rmsd):
-                    min_rmsd = rmsd if np.isnan(min_rmsd) else min(
-                        min_rmsd, rmsd
+        if notify:
+            cb.on_train_start(self)
+        with tracer.span("train"):
+            for ep in range(self.episodes):
+                if notify:
+                    cb.on_episode_start(ep)
+                state = self.env.reset()
+                max_qs: list[float] = []
+                losses: list[float] = []
+                total_reward = 0.0
+                best_score = float("-inf")
+                final_score = float("nan")
+                min_rmsd = float("nan")
+                termination = "time-limit"
+                learning_active = False
+                steps = 0
+                for _t in range(self.max_steps):
+                    with tracer.span("act"):
+                        action, q = self.agent.act(state, global_step)
+                    max_q = float(np.max(q))
+                    max_qs.append(max_q)
+                    with tracer.span("env-step"):
+                        next_state, reward, done, info = self.env.step(action)
+                    self.agent.remember(
+                        state, action, reward, next_state, done
                     )
-                global_step += 1
-                steps += 1
-                if (
-                    global_step >= self.learning_start
-                    and self.agent.can_learn()
-                    and global_step % self.train_interval == 0
-                ):
-                    with timer.section("learn"):
-                        learn_info = self.agent.learn()
-                    losses.append(learn_info.loss)
-                    learning_active = True
-                if global_step % self.target_update_steps == 0:
-                    self.agent.sync_target()
-                if done:
-                    termination = info.get("termination", "terminal")
-                    break
-            # n-step agents must not carry partial windows across episodes.
-            flush = getattr(self.agent, "flush_episode", None)
-            if flush is not None:
-                flush()
-            stats = EpisodeStats(
-                episode=ep,
-                steps=steps,
-                total_reward=total_reward,
-                avg_max_q=float(np.mean(max_qs)) if max_qs else 0.0,
-                best_score=best_score,
-                final_score=final_score,
-                epsilon=self.agent.policy.epsilon(global_step),
-                mean_loss=float(np.mean(losses)) if losses else float("nan"),
-                learning_active=learning_active,
-                termination=termination,
-                min_crystal_rmsd=min_rmsd,
-            )
-            history.episodes.append(stats)
-            if self.on_episode_end is not None:
-                self.on_episode_end(stats)
+                    state = next_state
+                    total_reward += reward
+                    score = info.get("score", float("nan"))
+                    if np.isfinite(score):
+                        best_score = max(best_score, score)
+                        final_score = score
+                    rmsd = info.get("crystal_rmsd", float("nan"))
+                    if np.isfinite(rmsd):
+                        min_rmsd = rmsd if np.isnan(min_rmsd) else min(
+                            min_rmsd, rmsd
+                        )
+                    global_step += 1
+                    steps += 1
+                    step_loss = float("nan")
+                    if (
+                        global_step >= self.learning_start
+                        and self.agent.can_learn()
+                        and global_step % self.train_interval == 0
+                    ):
+                        with tracer.span("learn"):
+                            learn_info = self.agent.learn()
+                        losses.append(learn_info.loss)
+                        step_loss = learn_info.loss
+                        learning_active = True
+                    if global_step % self.target_update_steps == 0:
+                        self.agent.sync_target()
+                    if done:
+                        termination = info.get("termination", "terminal")
+                    if notify:
+                        cb.on_step(
+                            StepInfo(
+                                episode=ep,
+                                step=steps - 1,
+                                global_step=global_step,
+                                action=int(action),
+                                reward=float(reward),
+                                score=float(score),
+                                max_q=max_q,
+                                epsilon=float(
+                                    self.agent.policy.epsilon(global_step)
+                                ),
+                                loss=step_loss,
+                                done=done,
+                            )
+                        )
+                    if done:
+                        break
+                # n-step agents must not carry partial windows across
+                # episodes.
+                flush = getattr(self.agent, "flush_episode", None)
+                if flush is not None:
+                    flush()
+                stats = EpisodeStats(
+                    episode=ep,
+                    steps=steps,
+                    total_reward=total_reward,
+                    avg_max_q=float(np.mean(max_qs)) if max_qs else 0.0,
+                    best_score=best_score,
+                    final_score=final_score,
+                    epsilon=self.agent.policy.epsilon(global_step),
+                    mean_loss=(
+                        float(np.mean(losses)) if losses else float("nan")
+                    ),
+                    learning_active=learning_active,
+                    termination=termination,
+                    min_crystal_rmsd=min_rmsd,
+                )
+                history.episodes.append(stats)
+                if self.on_episode_end is not None:
+                    self.on_episode_end(stats)
+                if notify:
+                    cb.on_episode_end(stats)
         history.total_steps = global_step
         history.wall_seconds = time.perf_counter() - t0
-        history.timer_report = timer.report()
+        history.timer_report = tracer.report()
+        if notify:
+            cb.on_train_end(history)
         return history
 
 

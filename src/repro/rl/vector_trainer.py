@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.env.vectorized import SyncVectorEnv
-from repro.utils.timers import Timer
+from repro.telemetry.spans import SpanTracer
 
 
 @dataclass
@@ -42,12 +42,14 @@ class VectorTrainer:
         learning_start: int = 0,
         target_update_steps: int = 1000,
         train_interval: int = 1,
+        tracer: SpanTracer | None = None,
     ):
         self.venv = venv
         self.agent = agent
         self.learning_start = int(learning_start)
         self.target_update_steps = max(1, int(target_update_steps))
         self.train_interval = max(1, int(train_interval))
+        self.tracer = tracer
 
     def _select_actions(
         self, states: np.ndarray, global_step: int
@@ -66,7 +68,7 @@ class VectorTrainer:
         """Collect ``total_steps`` transitions (summed across envs)."""
         if total_steps < 1:
             raise ValueError("total_steps must be >= 1")
-        timer = Timer()
+        tracer = self.tracer if self.tracer is not None else SpanTracer()
         t0 = time.perf_counter()
         states = self.venv.reset()
         global_step = 0
@@ -75,11 +77,11 @@ class VectorTrainer:
         reward_sum = 0.0
         n = self.venv.n_envs
         while global_step < total_steps:
-            with timer.section("act"):
+            with tracer.span("act"):
                 actions = self._select_actions(states, global_step)
-            with timer.section("env-step"):
+            with tracer.span("env-step"):
                 next_states, rewards, dones, infos = self.venv.step(actions)
-            with timer.section("remember"):
+            with tracer.span("remember"):
                 for i in range(n):
                     true_next = (
                         infos[i]["terminal_state"]
@@ -112,7 +114,7 @@ class VectorTrainer:
                     - prev_step // self.train_interval
                 )
                 for _ in range(updates):
-                    with timer.section("learn"):
+                    with tracer.span("learn"):
                         self.agent.learn()
             syncs = (
                 global_step // self.target_update_steps
@@ -128,5 +130,5 @@ class VectorTrainer:
             mean_reward=reward_sum / max(global_step, 1),
             wall_seconds=wall,
             steps_per_second=global_step / max(wall, 1e-9),
-            timer_report=timer.report(),
+            timer_report=tracer.report(),
         )

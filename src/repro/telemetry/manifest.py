@@ -1,0 +1,157 @@
+"""Run manifests: the who/what/when record every run leaves behind.
+
+``manifest.json`` is written the moment a run starts (status
+``running``) and rewritten at exit (``completed`` / ``failed``), so a
+crashed run is distinguishable from a finished one by its manifest
+alone.  The manifest carries everything needed to reproduce the run:
+seed, full config dict, package version, interpreter/platform, git
+revision when available, and wall-clock bounds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import subprocess
+import sys
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.version import __version__
+
+PathLike = Union[str, Path]
+
+#: Canonical manifest file name inside a run directory.
+MANIFEST_NAME = "manifest.json"
+
+
+def git_revision(cwd: PathLike | None = None) -> str | None:
+    """Current git commit SHA, or None outside a repo / without git."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=str(cwd) if cwd else None,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def _config_dict(config: Any) -> Dict[str, Any] | None:
+    """Normalize a config (dataclass or mapping) to a plain dict."""
+    if config is None:
+        return None
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        config = dataclasses.asdict(config)
+    if not isinstance(config, dict):
+        return {"value": str(config)}
+    from repro.telemetry.sinks import json_safe
+
+    return json_safe(config)
+
+
+def _utc_iso(epoch: float) -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(epoch))
+
+
+@dataclass
+class RunManifest:
+    """Machine-readable identity card of one run."""
+
+    run_id: str
+    command: str
+    seed: int | None
+    config: Dict[str, Any] | None
+    version: str
+    python_version: str
+    platform: str
+    numpy_version: str
+    git_sha: str | None
+    started_at: str
+    started_unix: float
+    finished_at: str | None = None
+    duration_seconds: float | None = None
+    status: str = "running"
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def create(
+        cls,
+        command: str,
+        *,
+        seed: int | None = None,
+        config: Any = None,
+        run_id: str | None = None,
+        extra: Dict[str, Any] | None = None,
+    ) -> "RunManifest":
+        """Stamp a new manifest for a run starting now."""
+        now = time.time()
+        return cls(
+            run_id=run_id
+            or f"{command}-{time.strftime('%Y%m%d-%H%M%S', time.gmtime(now))}"
+            f"-{uuid.uuid4().hex[:6]}",
+            command=command,
+            seed=seed,
+            config=_config_dict(config),
+            version=__version__,
+            python_version=platform.python_version(),
+            platform=f"{platform.system()}-{platform.machine()}",
+            numpy_version=np.__version__,
+            git_sha=git_revision(),
+            started_at=_utc_iso(now),
+            started_unix=now,
+        )
+
+    def finalize(self, status: str = "completed") -> "RunManifest":
+        """Close the manifest: end time, duration, final status."""
+        now = time.time()
+        self.finished_at = _utc_iso(now)
+        self.duration_seconds = round(max(0.0, now - self.started_unix), 3)
+        self.status = status
+        return self
+
+    # -- persistence -------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-ready)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunManifest":
+        """Rebuild from :meth:`to_dict` output (unknown keys ignored)."""
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
+    def write(self, path: PathLike) -> None:
+        """Atomically write the manifest JSON to ``path``."""
+        target = Path(path)
+        tmp = target.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        tmp.replace(target)
+
+    @classmethod
+    def load(cls, path: PathLike) -> "RunManifest":
+        """Read a manifest back from disk."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    # -- display -----------------------------------------------------------
+    def header(self) -> str:
+        """One-line provenance summary (report headers, inspect)."""
+        parts = [
+            f"run `{self.run_id}`",
+            f"repro {self.version}",
+            f"seed {self.seed}" if self.seed is not None else None,
+            f"git `{self.git_sha[:12]}`" if self.git_sha else None,
+            f"started {self.started_at}",
+            f"status {self.status}",
+        ]
+        return ", ".join(p for p in parts if p)

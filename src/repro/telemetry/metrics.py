@@ -1,0 +1,238 @@
+"""Metrics registry: counters, gauges, and streaming histograms.
+
+The registry is the in-process aggregation point for everything a run
+measures: step counts, scores, rewards, Q-values, losses.  Histograms
+combine Welford moments (:class:`repro.utils.running_stats.RunningStats`)
+with a fixed-size reservoir sample (Vitter's algorithm R, deterministic
+per metric name) so quantiles stay available for streams of millions of
+observations in O(reservoir) memory.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterable, List, Sequence, Union
+
+import numpy as np
+
+from repro.utils.running_stats import RunningStats
+
+#: Columns of the metrics.csv snapshot, shared by sink and inspector.
+SNAPSHOT_COLUMNS = (
+    "name", "kind", "count", "value", "mean", "std",
+    "min", "max", "p50", "p90", "p99",
+)
+
+
+class Counter:
+    """Monotonic accumulator (step counts, evaluations, events)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """Last-value-wins metric (epsilon, replay fill, best score)."""
+
+    __slots__ = ("name", "value", "updates")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = float("nan")
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = float(value)
+        self.updates += 1
+
+
+class Histogram:
+    """Streaming distribution: exact moments + reservoir quantiles.
+
+    Moments (count/mean/std/min/max) are exact over the full stream;
+    quantiles come from a uniform reservoir sample, which is exact until
+    the reservoir overflows and an unbiased estimate after.  The
+    reservoir RNG is seeded from the metric name so runs are
+    reproducible.
+    """
+
+    def __init__(self, name: str, reservoir_size: int = 512) -> None:
+        if reservoir_size < 1:
+            raise ValueError("reservoir_size must be >= 1")
+        self.name = name
+        self._stats = RunningStats()
+        self._reservoir = np.empty(reservoir_size, dtype=float)
+        self._rng = np.random.default_rng(zlib.crc32(name.encode()))
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the histogram."""
+        x = float(value)
+        self._stats.update(x)
+        self.min = min(self.min, x)
+        self.max = max(self.max, x)
+        n = self._stats.count
+        size = self._reservoir.size
+        if n <= size:
+            self._reservoir[n - 1] = x
+        else:
+            j = int(self._rng.integers(n))
+            if j < size:
+                self._reservoir[j] = x
+
+    @property
+    def count(self) -> int:
+        """Number of observations folded in."""
+        return self._stats.count
+
+    @property
+    def mean(self) -> float:
+        """Exact stream mean."""
+        return self._stats.mean
+
+    @property
+    def std(self) -> float:
+        """Exact stream standard deviation (population)."""
+        return self._stats.std
+
+    def sample(self) -> np.ndarray:
+        """The current reservoir contents (copy)."""
+        return self._reservoir[: min(self.count, self._reservoir.size)].copy()
+
+    def quantile(self, q: Union[float, Sequence[float]]):
+        """Quantile(s) of the stream (NaN before any observation).
+
+        Matches ``numpy.quantile`` exactly while the stream fits in the
+        reservoir; afterwards it is the sample quantile of the reservoir.
+        """
+        if self.count == 0:
+            qs = np.atleast_1d(np.asarray(q, dtype=float))
+            out = np.full(qs.shape, float("nan"))
+            return float(out[0]) if np.isscalar(q) else out
+        result = np.quantile(self.sample(), q)
+        return float(result) if np.isscalar(q) else result
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named metric store with get-or-create accessors.
+
+    Producers ask for a metric by name and kind; asking for an existing
+    name with a different kind is an error (one name, one meaning).
+    """
+
+    def __init__(self, reservoir_size: int = 512) -> None:
+        self._metrics: Dict[str, Metric] = {}
+        self._reservoir_size = int(reservoir_size)
+
+    def _get_or_create(self, name: str, cls, factory) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = factory()
+        elif not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram ``name``."""
+        return self._get_or_create(
+            name, Histogram, lambda: Histogram(name, self._reservoir_size)
+        )
+
+    # -- one-shot conveniences ---------------------------------------------
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name``."""
+        self.counter(name).inc(amount)
+
+    def set(self, name: str, value: float) -> None:
+        """Set gauge ``name``."""
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Observe ``value`` into histogram ``name``."""
+        self.histogram(name).observe(value)
+
+    # -- introspection -----------------------------------------------------
+    def names(self) -> List[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> Metric | None:
+        """The metric registered under ``name`` (None if absent)."""
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot_rows(self) -> List[dict]:
+        """One dict per metric with :data:`SNAPSHOT_COLUMNS` keys.
+
+        This is the metrics.csv payload; unused cells are empty strings
+        so the CSV stays rectangular.
+        """
+        rows: List[dict] = []
+        for name in self.names():
+            m = self._metrics[name]
+            row = {c: "" for c in SNAPSHOT_COLUMNS}
+            row["name"] = name
+            if isinstance(m, Counter):
+                row["kind"] = "counter"
+                row["count"] = int(m.value)
+                row["value"] = m.value
+            elif isinstance(m, Gauge):
+                row["kind"] = "gauge"
+                row["count"] = m.updates
+                row["value"] = m.value
+            else:
+                row["kind"] = "histogram"
+                row["count"] = m.count
+                if m.count:
+                    p50, p90, p99 = m.quantile([0.5, 0.9, 0.99])
+                    row.update(
+                        mean=m.mean, std=m.std, min=m.min, max=m.max,
+                        p50=float(p50), p90=float(p90), p99=float(p99),
+                    )
+            rows.append(row)
+        return rows
+
+    def merge_span_rows(self, span_rows: Iterable[dict]) -> List[dict]:
+        """Snapshot rows plus span rows rendered in the same schema."""
+        rows = self.snapshot_rows()
+        for s in span_rows:
+            row = {c: "" for c in SNAPSHOT_COLUMNS}
+            row.update(
+                name=f"span/{s['path']}",
+                kind="span",
+                count=s["count"],
+                value=s["total_seconds"],
+                mean=s["mean_seconds"],
+            )
+            rows.append(row)
+        return rows

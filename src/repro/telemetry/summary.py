@@ -1,0 +1,210 @@
+"""``repro inspect``: render a run summary from emitted files alone.
+
+Reads ``manifest.json`` / ``events.jsonl`` / ``metrics.csv`` out of a
+run directory and renders the episode table, the Figure-4 series, the
+span breakdown, and the metric snapshot -- no in-process state, so any
+archived run directory is inspectable forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Union
+
+from repro.telemetry.manifest import MANIFEST_NAME, RunManifest
+from repro.telemetry.run import EVENTS_NAME, METRICS_NAME
+from repro.telemetry.sinks import read_events, read_metrics_csv
+from repro.utils.ascii_plot import ascii_line_plot, sparkline
+from repro.utils.tables import render_table
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class RunRecord:
+    """Everything read back from one run directory."""
+
+    path: Path
+    manifest: RunManifest
+    events: List[dict] = field(default_factory=list)
+    metrics: List[dict] = field(default_factory=list)
+
+    def events_of(self, kind: str) -> List[dict]:
+        """All events of one type, in emit order."""
+        return [e for e in self.events if e.get("event") == kind]
+
+
+def load_run(run_dir: PathLike) -> RunRecord:
+    """Read a run directory back into memory.
+
+    The manifest is required; the event log and metrics snapshot are
+    optional (a crashed run may not have a metrics.csv yet).
+    """
+    path = Path(run_dir)
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise FileNotFoundError(
+            f"{manifest_path} not found -- is {path} a telemetry run dir?"
+        )
+    record = RunRecord(path=path, manifest=RunManifest.load(manifest_path))
+    events_path = path / EVENTS_NAME
+    if events_path.exists():
+        record.events = read_events(events_path)
+    metrics_path = path / METRICS_NAME
+    if metrics_path.exists():
+        record.metrics = read_metrics_csv(metrics_path)
+    return record
+
+
+def _fmt(value, spec: str = ".3f") -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:
+            return "-"
+        return format(value, spec)
+    return str(value)
+
+
+def _episode_section(record: RunRecord) -> str:
+    episodes = record.events_of("episode_end")
+    if not episodes:
+        return "(no episode records)"
+    rows = [
+        (
+            ep.get("episode"),
+            ep.get("steps"),
+            _fmt(ep.get("total_reward"), ".1f"),
+            _fmt(ep.get("avg_max_q")),
+            _fmt(ep.get("best_score"), ".2f"),
+            _fmt(ep.get("epsilon")),
+            _fmt(ep.get("mean_loss"), ".4f"),
+            ep.get("termination") or "-",
+        )
+        for ep in episodes
+    ]
+    return render_table(
+        ["ep", "steps", "reward", "avg max Q", "best score",
+         "eps", "loss", "termination"],
+        rows,
+        title="Episodes",
+        align=["r", "r", "r", "r", "r", "r", "r", "l"],
+    )
+
+
+def _figure4_section(record: RunRecord) -> str:
+    episodes = record.events_of("episode_end")
+    series = [
+        float(ep["avg_max_q"])
+        for ep in episodes
+        if ep.get("learning_active") and ep.get("avg_max_q") is not None
+    ]
+    if not series:
+        return "(no learning-active episodes -- no Figure 4 series)"
+    lines = [
+        f"Figure 4 series ({len(series)} learning-active episodes): "
+        f"first {series[0]:.3f}  "
+        f"peak {max(series):.3f}  last {series[-1]:.3f}",
+        "Q curve: " + sparkline(series),
+    ]
+    if len(series) >= 3:
+        lines.append(
+            ascii_line_plot(
+                series, title="avg max predicted Q per episode"
+            )
+        )
+    return "\n".join(lines)
+
+
+def _span_section(record: RunRecord) -> str:
+    spans = [m for m in record.metrics if m.get("kind") == "span"]
+    if not spans:
+        # Fall back to the event log's span summary (crash before csv).
+        summaries = record.events_of("span_summary")
+        if not summaries:
+            return "(no span records)"
+        spans = [
+            {
+                "name": "span/" + s["path"],
+                "count": s["count"],
+                "value": s["total_seconds"],
+                "mean": s["mean_seconds"],
+            }
+            for s in summaries[-1].get("spans", [])
+        ]
+    rows = []
+    for s in sorted(spans, key=lambda s: str(s["name"])):
+        path = str(s["name"])[len("span/"):]
+        depth = path.count("/")
+        label = "  " * depth + path.rsplit("/", 1)[-1]
+        rows.append(
+            (
+                label,
+                int(s["count"] or 0),
+                _fmt(s["value"], ".4f"),
+                _fmt(1e3 * s["mean"] if s["mean"] is not None else None,
+                     ".4f"),
+            )
+        )
+    return render_table(
+        ["span", "calls", "total s", "mean ms"],
+        rows,
+        title="Span breakdown",
+        align=["l", "r", "r", "r"],
+    )
+
+
+def _metrics_section(record: RunRecord) -> str:
+    rows = [
+        (
+            m["name"],
+            m["kind"],
+            int(m["count"] or 0),
+            _fmt(m.get("value"), "g"),
+            _fmt(m.get("mean"), ".4g"),
+            _fmt(m.get("min"), ".4g"),
+            _fmt(m.get("max"), ".4g"),
+            _fmt(m.get("p50"), ".4g"),
+            _fmt(m.get("p99"), ".4g"),
+        )
+        for m in record.metrics
+        if m.get("kind") in ("counter", "gauge", "histogram")
+    ]
+    if not rows:
+        return "(no metrics snapshot)"
+    return render_table(
+        ["metric", "kind", "count", "value", "mean", "min", "max",
+         "p50", "p99"],
+        rows,
+        title="Metrics",
+        align=["l", "l", "r", "r", "r", "r", "r", "r", "r"],
+    )
+
+
+def render_summary(run_dir: PathLike) -> str:
+    """The full ``repro inspect`` report for one run directory."""
+    record = load_run(run_dir)
+    m = record.manifest
+    header = [
+        f"# Run {m.run_id}",
+        m.header(),
+        f"command: {m.command}   python {m.python_version} on {m.platform}"
+        f"   numpy {m.numpy_version}",
+    ]
+    if m.finished_at:
+        header.append(
+            f"finished: {m.finished_at}   "
+            f"duration: {m.duration_seconds:.1f}s"
+        )
+    n_events = len(record.events)
+    n_steps = len(record.events_of("step"))
+    header.append(f"events: {n_events} total, {n_steps} step records")
+    sections = [
+        "\n".join(header),
+        _episode_section(record),
+        _figure4_section(record),
+        _span_section(record),
+        _metrics_section(record),
+    ]
+    return "\n\n".join(sections)

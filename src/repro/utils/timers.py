@@ -1,21 +1,28 @@
-"""Lightweight wall-clock instrumentation.
+"""Lightweight wall-clock instrumentation (compatibility layer).
 
-The experiment drivers report how long each phase of a run took (the paper
-stresses that DQN<->METADOCK communication dominated their wall time), so
-timers are first-class here rather than ad-hoc ``time.time()`` pairs.
+The one timing implementation lives in :mod:`repro.telemetry.spans`;
+:class:`Timer` is kept as a thin shim over a
+:class:`~repro.telemetry.spans.SpanTracer` so existing call sites and
+saved reports keep working, while new code should use the tracer (and
+its nested spans) directly.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
 from typing import Dict, Iterator
 
+from repro.telemetry.spans import SpanTracer
 
-@dataclass
+
 class Timer:
     """Accumulating named timer usable as a context manager.
+
+    A flat view over a :class:`SpanTracer`: sections become spans, and
+    the totals/counts aggregate across whatever nesting the underlying
+    tracer saw.  Pass a shared ``tracer`` to merge these sections into
+    a run-wide span tree.
 
     >>> t = Timer()
     >>> with t.section("scoring"):
@@ -24,41 +31,36 @@ class Timer:
     True
     """
 
-    totals: Dict[str, float] = field(default_factory=dict)
-    counts: Dict[str, int] = field(default_factory=dict)
+    def __init__(self, tracer: SpanTracer | None = None) -> None:
+        self.tracer = tracer if tracer is not None else SpanTracer()
 
     @contextmanager
     def section(self, name: str) -> Iterator[None]:
-        start = time.perf_counter()
-        try:
+        """Time one named section (re-entrant, accumulating)."""
+        with self.tracer.span(name):
             yield
-        finally:
-            elapsed = time.perf_counter() - start
-            self.totals[name] = self.totals.get(name, 0.0) + elapsed
-            self.counts[name] = self.counts.get(name, 0) + 1
+
+    @property
+    def totals(self) -> Dict[str, float]:
+        """Name -> accumulated seconds (flat, across span parents)."""
+        return self.tracer.totals_by_name()
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Name -> entry count (flat, across span parents)."""
+        return self.tracer.counts_by_name()
 
     def total(self, name: str) -> float:
         """Accumulated seconds spent in ``name`` (0.0 if never entered)."""
-        return self.totals.get(name, 0.0)
+        return self.tracer.total(name)
 
     def mean(self, name: str) -> float:
         """Mean seconds per entry of ``name``."""
-        n = self.counts.get(name, 0)
-        return self.totals.get(name, 0.0) / n if n else 0.0
+        return self.tracer.mean(name)
 
     def report(self) -> str:
         """Human-readable multi-line breakdown sorted by total time."""
-        if not self.totals:
-            return "(no timed sections)"
-        width = max(len(k) for k in self.totals)
-        lines = []
-        for name in sorted(self.totals, key=self.totals.get, reverse=True):
-            lines.append(
-                f"{name:<{width}}  total={self.totals[name]:9.4f}s  "
-                f"calls={self.counts[name]:>6}  "
-                f"mean={self.mean(name) * 1e3:9.4f}ms"
-            )
-        return "\n".join(lines)
+        return self.tracer.flat_report()
 
 
 class WallClock:

@@ -1,0 +1,147 @@
+"""Metrics registry: counters, gauges, streaming histogram quantiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SNAPSHOT_COLUMNS,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter("steps")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("steps").inc(-1)
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        g = Gauge("epsilon")
+        g.set(1.0)
+        g.set(0.05)
+        assert g.value == 0.05
+        assert g.updates == 2
+
+    def test_starts_nan(self):
+        assert Gauge("x").value != Gauge("x").value
+
+
+class TestHistogram:
+    def test_moments_exact(self):
+        h = Histogram("score")
+        values = [3.0, -1.0, 4.0, 1.0, 5.0]
+        for v in values:
+            h.observe(v)
+        assert h.count == 5
+        assert h.mean == pytest.approx(np.mean(values))
+        assert h.std == pytest.approx(np.std(values))
+        assert h.min == -1.0
+        assert h.max == 5.0
+
+    def test_quantiles_match_numpy_below_reservoir(self):
+        rng = np.random.default_rng(7)
+        values = rng.normal(size=300)
+        h = Histogram("q", reservoir_size=512)
+        for v in values:
+            h.observe(v)
+        for q in (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(
+                float(np.quantile(values, q)), abs=1e-12
+            )
+
+    def test_quantile_vector_form(self):
+        h = Histogram("q")
+        for v in range(101):
+            h.observe(float(v))
+        got = h.quantile([0.25, 0.5, 0.75])
+        np.testing.assert_allclose(got, [25.0, 50.0, 75.0])
+
+    def test_quantile_empty_is_nan(self):
+        assert Histogram("q").quantile(0.5) != Histogram("q").quantile(0.5)
+
+    def test_reservoir_overflow_stays_sane(self):
+        # 20k uniform draws through a 256-slot reservoir: the median
+        # estimate must land well inside the bulk of the distribution.
+        rng = np.random.default_rng(0)
+        h = Histogram("big", reservoir_size=256)
+        for v in rng.uniform(size=20_000):
+            h.observe(float(v))
+        assert h.count == 20_000
+        assert 0.35 < h.quantile(0.5) < 0.65
+        assert h.sample().size == 256
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=64))
+    def test_moments_any_stream(self, values):
+        h = Histogram("any")
+        for v in values:
+            h.observe(v)
+        assert h.mean == pytest.approx(np.mean(values), rel=1e-9, abs=1e-6)
+        assert h.min == min(values)
+        assert h.max == max(values)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_conveniences(self):
+        reg = MetricsRegistry()
+        reg.inc("steps", 3)
+        reg.set("eps", 0.5)
+        reg.observe("loss", 1.0)
+        assert reg.counter("steps").value == 3
+        assert reg.gauge("eps").value == 0.5
+        assert reg.histogram("loss").count == 1
+        assert len(reg) == 3
+        assert "steps" in reg and "nope" not in reg
+
+    def test_snapshot_rows_schema(self):
+        reg = MetricsRegistry()
+        reg.inc("steps")
+        reg.set("eps", 0.1)
+        for v in (1.0, 2.0, 3.0):
+            reg.observe("loss", v)
+        rows = reg.snapshot_rows()
+        assert [r["name"] for r in rows] == ["eps", "loss", "steps"]
+        for row in rows:
+            assert set(row) == set(SNAPSHOT_COLUMNS)
+        loss = next(r for r in rows if r["name"] == "loss")
+        assert loss["kind"] == "histogram"
+        assert loss["p50"] == pytest.approx(2.0)
+
+    def test_merge_span_rows(self):
+        reg = MetricsRegistry()
+        reg.inc("steps")
+        rows = reg.merge_span_rows(
+            [
+                {
+                    "path": "train/act",
+                    "count": 10,
+                    "total_seconds": 0.5,
+                    "mean_seconds": 0.05,
+                }
+            ]
+        )
+        span = next(r for r in rows if r["kind"] == "span")
+        assert span["name"] == "span/train/act"
+        assert span["value"] == 0.5
