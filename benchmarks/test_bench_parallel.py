@@ -105,21 +105,22 @@ def test_bench_virtual_screening(benchmark, bench_complex):
 def test_bench_vectorized_collection(benchmark, bench_complex):
     """Batched acting over N envs vs the per-env network cost."""
     from repro.env.docking_env import DockingEnv
-    from repro.env.vectorized import SyncVectorEnv
+    from repro.env.factory import make_vector_env
     from repro.metadock.engine import MetadockEngine
     from repro.rl.agent import AgentConfig, DQNAgent
     from repro.rl.vector_trainer import VectorTrainer
 
     def run():
-        venv = SyncVectorEnv(
-            [
+        venv = make_vector_env(
+            env_fns=[
                 lambda: DockingEnv(
                     MetadockEngine(
                         bench_complex, shift_length=1.0, rotation_angle_deg=2.0
                     )
                 )
             ]
-            * 4
+            * 4,
+            backend="sync",
         )
         try:
             agent = DQNAgent(

@@ -1,0 +1,91 @@
+"""Bench: sync vs async VectorEnv stepping throughput.
+
+The tentpole claim of the async backend is that N docking environments
+stepped in N worker processes beat the serial in-process loop once
+more than one core is available (the paper's Section 5 serial-stepping
+limitation).  This smoke measures raw ``venv.step`` throughput for
+both backends over identical environments and writes a
+``BENCH_vector_env.json`` artifact (consumed by the CI job) with the
+measured steps/second and speedup.
+
+On a single-core runner the comparison is meaningless (the async
+backend only adds IPC overhead there), so the assertion is skipped.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.env.docking_env import DockingEnv
+from repro.env.factory import make_vector_env
+from repro.metadock.engine import MetadockEngine
+
+#: Where the throughput artifact lands (repo root under plain pytest;
+#: override with BENCH_VECTOR_ENV_JSON).
+ARTIFACT = Path(
+    os.environ.get("BENCH_VECTOR_ENV_JSON", "BENCH_vector_env.json")
+)
+
+N_ENVS = 4
+N_STEPS = 60
+
+
+def _measure(venv, n_steps: int) -> float:
+    """Steps/second of round-robin stepping (no agent in the loop)."""
+    venv.reset()
+    actions = [[a % venv.n_actions] * venv.n_envs for a in range(n_steps)]
+    t0 = time.perf_counter()
+    for a in actions:
+        venv.step(a)
+    wall = time.perf_counter() - t0
+    return n_steps * venv.n_envs / max(wall, 1e-9)
+
+
+def test_bench_sync_vs_async_throughput(bench_complex):
+    if "fork" not in mp.get_all_start_methods():
+        pytest.skip("async backend needs a fork-capable platform")
+
+    def env_fns():
+        return [
+            (
+                lambda: DockingEnv(
+                    MetadockEngine(
+                        bench_complex, shift_length=1.0,
+                        rotation_angle_deg=2.0,
+                    )
+                )
+            )
+        ] * N_ENVS
+
+    results = {}
+    for backend in ("sync", "async"):
+        venv = make_vector_env(env_fns=env_fns(), backend=backend)
+        try:
+            _measure(venv, 5)  # warm-up (worker spawn, caches)
+            results[backend] = _measure(venv, N_STEPS)
+        finally:
+            venv.close()
+
+    cores = os.cpu_count() or 1
+    payload = {
+        "n_envs": N_ENVS,
+        "steps_per_backend": N_STEPS * N_ENVS,
+        "cpu_count": cores,
+        "sync_steps_per_second": round(results["sync"], 2),
+        "async_steps_per_second": round(results["async"], 2),
+        "speedup": round(results["async"] / results["sync"], 3),
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nvector-env throughput: {payload}")
+
+    if cores < 2:
+        pytest.skip(
+            "single core: async cannot beat sync, artifact still written"
+        )
+    assert results["async"] >= results["sync"], payload

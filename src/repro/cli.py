@@ -10,6 +10,8 @@ reproducible without writing Python:
 - ``comm-ablation`` -- RAM vs file engine<->agent channel (limitation 1);
 - ``screen``        -- virtual-screen a synthetic ligand library;
 - ``blind``         -- blind docking over receptor surface spots;
+- ``curriculum``    -- multi-complex vectorized training (sync/async
+  backend via ``--backend``, see docs/PARALLELISM.md);
 - ``inspect``       -- summarize a telemetry run directory.
 
 Every experiment subcommand accepts ``--log-dir DIR``: the run then
@@ -156,6 +158,21 @@ def build_parser() -> argparse.ArgumentParser:
         "values", nargs="+", help="values (parsed as float/int when numeric)"
     )
     p.add_argument("--episodes", type=int, default=15)
+
+    p = sub.add_parser(
+        "curriculum",
+        help="multi-complex curriculum over a vector env backend",
+    )
+    _add_common(p)
+    p.add_argument("--complexes", type=int, default=3)
+    p.add_argument("--episodes", type=int, default=10)
+    p.add_argument("--eval-episodes", type=int, default=2)
+    p.add_argument(
+        "--backend",
+        default="sync",
+        choices=["sync", "async", "auto"],
+        help="vector-env backend (async = one worker process per env)",
+    )
 
     p = sub.add_parser(
         "inspect", help="summarize a telemetry run directory"
@@ -309,6 +326,28 @@ def _cmd_blind(args) -> int:
     return _telemetered(args, "blind", cfg, work)
 
 
+def _cmd_curriculum(args) -> int:
+    from repro.experiments.curriculum import run_curriculum_experiment
+
+    cfg = ci_scale_config(
+        episodes=args.episodes, seed=args.seed, learning_rate=0.002
+    )
+
+    def work(telemetry):
+        result = run_curriculum_experiment(
+            cfg,
+            n_train_complexes=args.complexes,
+            eval_episodes=args.eval_episodes,
+            backend=args.backend,
+            telemetry=telemetry,
+        )
+        text = result.summary()
+        print(text)
+        return 0, text
+
+    return _telemetered(args, "curriculum", cfg, work)
+
+
 def _cmd_reward_ablation(args) -> int:
     from repro.experiments.reward_ablation import run_reward_ablation
 
@@ -388,6 +427,7 @@ _COMMANDS = {
     "comm-ablation": _cmd_comm_ablation,
     "screen": _cmd_screen,
     "blind": _cmd_blind,
+    "curriculum": _cmd_curriculum,
     "report": _cmd_report,
     "reward-ablation": _cmd_reward_ablation,
     "sweep": _cmd_sweep,

@@ -1,0 +1,424 @@
+"""Process-parallel vectorized environments over shared memory.
+
+The paper's Section 5 blames two things for its wall-clock: the
+file-based engine<->agent channel and the strictly serial stepping of
+one environment per trainer.  :class:`AsyncVectorEnv` removes the
+second: each of the N environments lives in its own worker process and
+steps **concurrently**, so the Eq. 1 scoring hot path spreads across
+cores instead of time-slicing one.
+
+Data exchange reuses the :class:`repro.env.comm.CommChannel`
+abstraction via :class:`repro.env.comm.SharedSlotComm`: states land in
+one preallocated ``(n_envs, state_dim)`` float64 shared block and
+rewards in an ``(n_envs,)`` block, written in place by workers --
+no per-step pickling of 16k-float state vectors.  Only the small,
+irregular payloads (done flags, info dicts, terminal states) travel
+over the command pipes.
+
+Robustness (the part a long paper-scale run actually needs):
+
+- **per-step timeouts** -- a worker that does not answer within
+  ``step_timeout`` seconds is declared lost;
+- **crash detection + respawn** -- a dead or hung worker is killed and
+  respawned from its original ``env_fn`` (re-seeded by construction),
+  the in-flight episode is discarded (surfaced as ``done=True`` with
+  ``info["worker_restarted"]``), and the restart is counted in the
+  ``vector_env/worker_restarts`` telemetry metric;
+- **graceful close()** -- workers are asked to exit, then terminated,
+  then killed; ``close`` is idempotent and also runs on GC.
+
+Requires a ``fork``-capable platform by default (worker env thunks are
+inherited, not pickled); pass ``context="spawn"`` with picklable
+``env_fns`` otherwise.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.env.comm import SharedSlotComm
+from repro.env.protocol import (
+    QUEUE_WAIT_METRIC,
+    RESTARTS_METRIC,
+    VectorEnv,
+    coerce_actions,
+)
+
+
+def _worker(
+    index: int,
+    env_fn: Callable[[], Any],
+    conn,
+    states_buf,
+    rewards_buf,
+    state_dim: int,
+    n_envs: int,
+) -> None:
+    """Worker loop: own one env, answer reset/step/close commands.
+
+    States and rewards are delivered through the shared block via
+    :class:`SharedSlotComm`; the pipe carries commands, done flags,
+    info dicts, and terminal states (small and per-episode, not
+    per-step).
+    """
+    env = None
+    try:
+        env = env_fn()
+        conn.send(("ready", (int(env.state_dim), int(env.n_actions))))
+        states = np.frombuffer(states_buf, dtype=np.float64).reshape(
+            n_envs, state_dim
+        )
+        rewards = np.frombuffer(rewards_buf, dtype=np.float64)
+        comm = SharedSlotComm(states[index], rewards, index)
+        while True:
+            cmd, data = conn.recv()
+            if cmd == "reset":
+                state = env.reset()
+                comm.exchange(state, 0.0)
+                conn.send(("ok", None))
+            elif cmd == "step":
+                state, reward, done, info = env.step(int(data))
+                if done:
+                    info = dict(
+                        info,
+                        terminal_state=np.asarray(state, dtype=np.float64),
+                    )
+                    state = env.reset()
+                comm.exchange(state, reward)
+                conn.send(("ok", (bool(done), info)))
+            elif cmd == "close":
+                conn.send(("ok", None))
+                return
+            else:  # pragma: no cover - defensive
+                conn.send(("error", f"unknown command {cmd!r}"))
+    except (KeyboardInterrupt, EOFError):  # pragma: no cover - teardown race
+        pass
+    except Exception as exc:
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+    finally:
+        if env is not None:
+            close = getattr(env, "close", None)
+            if close is not None:
+                try:
+                    close()
+                except Exception:  # pragma: no cover - best effort
+                    pass
+        conn.close()
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker died/hung and could not be (or was not) respawned."""
+
+
+class AsyncVectorEnv(VectorEnv):
+    """N environments in N worker processes, stepped concurrently.
+
+    Satisfies the :class:`repro.env.protocol.VectorEnv` contract
+    exactly as :class:`repro.env.vectorized.SyncVectorEnv` does
+    (auto-reset, ``terminal_state`` info, tuple infos, action
+    validation) -- the seeded-equivalence test in
+    ``tests/test_vector_env_protocol.py`` asserts transition streams
+    are identical between the two backends.
+
+    Parameters
+    ----------
+    env_fns:
+        One zero-arg environment constructor per worker.  Re-invoked
+        on respawn, so determinism after a crash is the thunk's
+        responsibility (build it from a seeded config).
+    step_timeout:
+        Seconds to wait for each worker's step/reset answer before
+        declaring it lost and respawning it.
+    spawn_timeout:
+        Seconds to wait for a worker's startup handshake.
+    max_restarts:
+        Total respawn budget across all workers; exceeding it raises
+        :class:`WorkerCrashError` (guards against a deterministically
+        crashing environment respawning forever).
+    context:
+        ``multiprocessing`` start method; default "fork" where
+        available (thunks need not pickle), else the platform default.
+    tracer / metrics:
+        Optional :class:`~repro.telemetry.spans.SpanTracer` and
+        :class:`~repro.telemetry.metrics.MetricsRegistry`.  The tracer
+        records a "vector-step" span with a "queue-wait" child (time
+        from dispatch until the last worker answered); the registry
+        gets the ``vector_env/worker_restarts`` counter and the
+        ``vector_env/queue_wait_seconds`` gauge.  Worker-side spans do
+        not propagate across the process boundary (documented in
+        docs/PARALLELISM.md).
+    """
+
+    def __init__(
+        self,
+        env_fns: Sequence[Callable[[], Any]],
+        *,
+        step_timeout: float = 60.0,
+        spawn_timeout: float = 30.0,
+        max_restarts: int = 16,
+        context: str | None = None,
+        tracer=None,
+        metrics=None,
+    ):
+        if not env_fns:
+            raise ValueError("need at least one environment")
+        if step_timeout <= 0 or spawn_timeout <= 0:
+            raise ValueError("timeouts must be positive")
+        self.env_fns = list(env_fns)
+        self.step_timeout = float(step_timeout)
+        self.spawn_timeout = float(spawn_timeout)
+        self.max_restarts = int(max_restarts)
+        self.tracer = tracer
+        self.metrics = metrics
+        self.worker_restarts = 0
+        self._closed = False
+
+        if context is None:
+            methods = mp.get_all_start_methods()
+            context = "fork" if "fork" in methods else methods[0]
+        self._ctx = mp.get_context(context)
+
+        # Probe one env in-parent for the shared-buffer geometry; every
+        # worker's startup handshake is validated against it below.
+        probe = self.env_fns[0]()
+        try:
+            self.state_dim = int(probe.state_dim)
+            self.n_actions = int(probe.n_actions)
+        finally:
+            close = getattr(probe, "close", None)
+            if close is not None:
+                close()
+            del probe
+
+        n = len(self.env_fns)
+        # The preallocated exchange blocks: one (n_envs, state_dim)
+        # float64 state block plus an (n_envs,) reward block, shared
+        # with every worker (anonymous mmap, inherited on fork).
+        self._states_buf = self._ctx.RawArray("d", n * self.state_dim)
+        self._rewards_buf = self._ctx.RawArray("d", n)
+        self._states = np.frombuffer(
+            self._states_buf, dtype=np.float64
+        ).reshape(n, self.state_dim)
+        self._rewards = np.frombuffer(self._rewards_buf, dtype=np.float64)
+        # Last states handed to the caller; used as the discarded
+        # episode's terminal state when a worker is respawned mid-step.
+        self._last_states = np.zeros((n, self.state_dim))
+
+        self._procs: list = [None] * n
+        self._conns: list = [None] * n
+        if self.metrics is not None:
+            # Register eagerly so a restart-free run still reports 0.
+            self.metrics.counter(RESTARTS_METRIC)
+        try:
+            dims = []
+            for i in range(n):
+                dims.append(self._spawn(i))
+            bad = [
+                (i, d) for i, d in enumerate(dims)
+                if d != (self.state_dim, self.n_actions)
+            ]
+            if bad:
+                raise ValueError(
+                    "environments disagree: expected (state_dim, "
+                    f"n_actions)=({self.state_dim}, {self.n_actions}), "
+                    f"got {bad}"
+                )
+        except BaseException:
+            self.close()
+            raise
+
+    # -- worker lifecycle --------------------------------------------------
+    def _spawn(self, i: int) -> tuple[int, int]:
+        """Start worker ``i``; returns its reported (state_dim, n_actions)."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker,
+            args=(
+                i,
+                self.env_fns[i],
+                child_conn,
+                self._states_buf,
+                self._rewards_buf,
+                self.state_dim,
+                len(self.env_fns),
+            ),
+            daemon=True,
+            name=f"async-vec-env-{i}",
+        )
+        proc.start()
+        child_conn.close()
+        self._procs[i] = proc
+        self._conns[i] = parent_conn
+        kind, payload = self._recv(i, self.spawn_timeout, what="handshake")
+        if kind != "ready":
+            raise WorkerCrashError(
+                f"worker {i} failed during startup: {payload}"
+            )
+        return tuple(payload)
+
+    def _recv(self, i: int, timeout: float, *, what: str):
+        """One message from worker ``i`` or a ("crashed", reason) marker."""
+        conn = self._conns[i]
+        try:
+            if not conn.poll(timeout):
+                alive = self._procs[i].is_alive()
+                return (
+                    "crashed",
+                    f"worker {i} {'hung' if alive else 'died'} during "
+                    f"{what} (timeout={timeout:g}s)",
+                )
+            return conn.recv()
+        except (EOFError, ConnectionResetError, BrokenPipeError, OSError):
+            return ("crashed", f"worker {i} pipe broke during {what}")
+
+    def _reap(self, i: int) -> None:
+        """Forcefully stop worker ``i`` and close its pipe."""
+        proc, conn = self._procs[i], self._conns[i]
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        if proc is not None and proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=1.0)
+            if proc.is_alive():  # pragma: no cover - stubborn child
+                proc.kill()
+                proc.join(timeout=1.0)
+        self._procs[i] = None
+        self._conns[i] = None
+
+    def _respawn(self, i: int, reason: str) -> None:
+        """Replace a lost worker; the fresh env is reset in place."""
+        self.worker_restarts += 1
+        if self.worker_restarts > self.max_restarts:
+            self.close()
+            raise WorkerCrashError(
+                f"worker respawn budget exhausted "
+                f"({self.max_restarts}); last failure: {reason}"
+            )
+        if self.metrics is not None:
+            self.metrics.inc(RESTARTS_METRIC)
+        self._reap(i)
+        dims = self._spawn(i)
+        if dims != (self.state_dim, self.n_actions):  # pragma: no cover
+            raise WorkerCrashError(
+                f"respawned worker {i} changed geometry: {dims}"
+            )
+        self._conns[i].send(("reset", None))
+        kind, payload = self._recv(i, self.step_timeout, what="respawn reset")
+        if kind != "ok":
+            raise WorkerCrashError(
+                f"respawned worker {i} failed its reset: {payload}"
+            )
+
+    # -- protocol ----------------------------------------------------------
+    @property
+    def n_envs(self) -> int:
+        """Number of worker processes / environments."""
+        return len(self.env_fns)
+
+    def reset(self) -> np.ndarray:
+        """Reset every env; returns ``(n_envs, state_dim)``."""
+        self._check_open()
+        for conn in self._conns:
+            conn.send(("reset", None))
+        for i in range(self.n_envs):
+            kind, payload = self._recv(i, self.step_timeout, what="reset")
+            if kind == "crashed":
+                self._respawn(i, payload)
+            elif kind == "error":
+                raise RuntimeError(f"worker {i} raised: {payload}")
+        states = self._states.copy()
+        self._last_states = states.copy()
+        return states
+
+    def step(
+        self, actions
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, tuple]:
+        """Step all envs concurrently; see :mod:`repro.env.protocol`."""
+        self._check_open()
+        acts = coerce_actions(actions, self.n_envs)
+        if self.tracer is None:
+            return self._step(acts)
+        with self.tracer.span("vector-step"):
+            return self._step(acts)
+
+    def _step(self, acts: np.ndarray):
+        for i, conn in enumerate(self._conns):
+            conn.send(("step", int(acts[i])))
+        dones = np.zeros(self.n_envs, dtype=bool)
+        infos: list[dict] = [None] * self.n_envs
+        t0 = time.perf_counter()
+        if self.tracer is None:
+            self._collect(dones, infos)
+        else:
+            with self.tracer.span("queue-wait"):
+                self._collect(dones, infos)
+        wait = time.perf_counter() - t0
+        if self.metrics is not None:
+            self.metrics.set(QUEUE_WAIT_METRIC, wait)
+        states = self._states.copy()
+        rewards = self._rewards.copy()
+        self._last_states = states.copy()
+        return states, rewards, dones, tuple(infos)
+
+    def _collect(self, dones: np.ndarray, infos: list) -> None:
+        """Gather one step answer per worker, respawning the lost ones."""
+        for i in range(self.n_envs):
+            kind, payload = self._recv(i, self.step_timeout, what="step")
+            if kind == "ok":
+                done, info = payload
+                dones[i] = done
+                infos[i] = info
+            elif kind == "crashed":
+                # Discard the in-flight episode: the respawned env's
+                # fresh reset state is already in the shared block; the
+                # pre-crash state stands in as the terminal state.
+                self._respawn(i, payload)
+                self._rewards[i] = 0.0
+                dones[i] = True
+                infos[i] = {
+                    "terminal_state": self._last_states[i].copy(),
+                    "worker_restarted": True,
+                    "worker_crash_reason": payload,
+                }
+            else:  # worker env raised: a bug, not an infrastructure crash
+                self._reap(i)
+                raise RuntimeError(f"worker {i} raised: {payload}")
+
+    def close(self) -> None:
+        """Reap every worker (graceful, then forceful); idempotent."""
+        if getattr(self, "_closed", True):
+            return
+        self._closed = True
+        for conn in self._conns:
+            if conn is None:
+                continue
+            try:
+                conn.send(("close", None))
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.monotonic() + 2.0
+        for proc in self._procs:
+            if proc is not None:
+                proc.join(timeout=max(0.0, deadline - time.monotonic()))
+        for i in range(len(self._procs)):
+            self._reap(i)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("AsyncVectorEnv is closed")
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -88,6 +88,42 @@ class FileComm(CommChannel):
             self._tmp = None
 
 
+class SharedSlotComm(CommChannel):
+    """Hand-off through one slot of a preallocated shared-memory block.
+
+    The process-parallel :class:`repro.env.async_vectorized.
+    AsyncVectorEnv` gives each worker one row of an ``(n_envs,
+    state_dim)`` float64 block plus one cell of an ``(n_envs,)`` score
+    array; the worker delivers every (state, score) pair by writing it
+    in place -- zero-copy on the parent side, no per-step pickling of
+    state vectors.  Because it is just another :class:`CommChannel`,
+    it composes with the paper's file-comm ablation: the environment
+    *inside* the worker can still route its own engine<->agent
+    round-trip through :class:`FileComm` while the cross-process
+    hand-off stays shared-memory.
+    """
+
+    def __init__(self, state_slot: np.ndarray, score_slot: np.ndarray, index: int):
+        if state_slot.ndim != 1:
+            raise ValueError("state_slot must be a 1-D row view")
+        self.state_slot = state_slot
+        self.score_slot = score_slot
+        self.index = int(index)
+        self.round_trips = 0
+
+    def exchange(self, state: np.ndarray, score: float) -> tuple[np.ndarray, float]:
+        state = np.asarray(state, dtype=np.float64)
+        if state.shape != self.state_slot.shape:
+            raise ValueError(
+                f"state shape {state.shape} does not fit slot "
+                f"{self.state_slot.shape}"
+            )
+        self.state_slot[:] = state
+        self.score_slot[self.index] = float(score)
+        self.round_trips += 1
+        return self.state_slot, float(score)
+
+
 def make_comm(mode: str, **kwargs) -> CommChannel:
     """Factory keyed by config string ("ram" or "file")."""
     if mode == "ram":

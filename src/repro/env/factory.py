@@ -1,0 +1,119 @@
+"""``make_vector_env`` -- the one way to build a vector environment.
+
+Experiments, the CLI, and the benches used to construct
+``SyncVectorEnv([...])`` ad hoc; this factory replaces those call
+sites so backend selection (serial in-process vs process-parallel) is
+a config/flag decision, not a code change.  Everything it returns
+satisfies :class:`repro.env.protocol.VectorEnv`, which is all
+:class:`repro.rl.vector_trainer.VectorTrainer` requires.
+
+Two construction modes:
+
+- **from a config** -- ``make_vector_env(cfg, n_envs=4)`` builds N
+  docking environments over the config's complex (built once, shared);
+  pass ``builts=[...]`` to train over distinct complexes (the
+  multi-complex curriculum);
+- **from thunks** -- ``make_vector_env(env_fns=[...])`` wraps
+  arbitrary zero-arg environment constructors (tests, custom stacks).
+
+Backends: ``"sync"`` (default), ``"async"``, or ``"auto"`` (async when
+more than one env *and* more than one core *and* a fork-capable
+platform are available).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from typing import Any, Callable, Sequence
+
+from repro.env.async_vectorized import AsyncVectorEnv
+from repro.env.protocol import VectorEnv
+from repro.env.vectorized import SyncVectorEnv
+
+#: Recognized backend names.
+BACKENDS = ("sync", "async", "auto")
+
+
+def resolve_backend(backend: str, n_envs: int) -> str:
+    """Map a backend request (possibly "auto") to "sync" or "async"."""
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown vector-env backend {backend!r}; choose from {BACKENDS}"
+        )
+    if backend != "auto":
+        return backend
+    multi_core = (os.cpu_count() or 1) > 1
+    forkable = "fork" in mp.get_all_start_methods()
+    return "async" if (n_envs > 1 and multi_core and forkable) else "sync"
+
+
+def make_vector_env(
+    cfg=None,
+    *,
+    env_fns: Sequence[Callable[[], Any]] | None = None,
+    n_envs: int = 1,
+    backend: str = "sync",
+    builts: Sequence[Any] | None = None,
+    tracer=None,
+    metrics=None,
+    **backend_options: Any,
+) -> VectorEnv:
+    """Build a :class:`VectorEnv` from a config or explicit env thunks.
+
+    Parameters
+    ----------
+    cfg:
+        A :class:`repro.config.DQNDockingConfig`; ignored when
+        ``env_fns`` is given, required otherwise.
+    env_fns:
+        Explicit zero-arg environment constructors (overrides
+        cfg-based construction; ``n_envs`` is then ``len(env_fns)``).
+    n_envs:
+        Number of environments to build from ``cfg``.
+    backend:
+        "sync", "async", or "auto" (see :func:`resolve_backend`).
+    builts:
+        Pre-built complexes (one per env) for cfg-based construction;
+        defaults to building the config's complex once and sharing it.
+    tracer / metrics:
+        Telemetry hooks threaded into the backend (span per vector
+        step; ``vector_env/*`` metrics for the async backend).
+    backend_options:
+        Extra backend kwargs (async: ``step_timeout``,
+        ``spawn_timeout``, ``max_restarts``, ``context``).
+    """
+    if env_fns is None:
+        if cfg is None:
+            raise ValueError("need either a config or env_fns")
+        if n_envs < 1:
+            raise ValueError("n_envs must be >= 1")
+        from repro.chem.builders import build_complex
+        from repro.env.docking_env import make_env
+
+        if builts is None:
+            built = build_complex(cfg.complex)
+            builts = [built] * n_envs
+        else:
+            builts = list(builts)
+            if n_envs not in (1, len(builts)):
+                raise ValueError(
+                    f"got {len(builts)} built complexes for n_envs={n_envs}"
+                )
+        env_fns = [(lambda b=b: make_env(cfg, b)) for b in builts]
+    else:
+        env_fns = list(env_fns)
+
+    chosen = resolve_backend(backend, len(env_fns))
+    if chosen == "async":
+        return AsyncVectorEnv(
+            env_fns, tracer=tracer, metrics=metrics, **backend_options
+        )
+    if backend_options:
+        raise ValueError(
+            f"backend options {sorted(backend_options)} are only "
+            "meaningful for the async backend"
+        )
+    return SyncVectorEnv._from_factory(
+        env_fns, tracer=tracer, metrics=metrics
+    )

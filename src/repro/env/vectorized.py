@@ -8,16 +8,24 @@ states in one batched forward (see
 :class:`repro.rl.vector_trainer.VectorTrainer`).  With N complexes of
 different seeds this doubles as a multi-complex curriculum -- the
 training-side half of the generalization story.
+
+Environment stepping itself stays serial here; for process-parallel
+stepping use :class:`repro.env.async_vectorized.AsyncVectorEnv`.  Both
+satisfy the :class:`repro.env.protocol.VectorEnv` contract and should
+be constructed through :func:`repro.env.factory.make_vector_env`.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.env.protocol import RESTARTS_METRIC, VectorEnv, coerce_actions
 
-class SyncVectorEnv:
+
+class SyncVectorEnv(VectorEnv):
     """Lockstep wrapper over N gym-flavoured environments.
 
     All environments must share state dimensionality and action count.
@@ -25,12 +33,57 @@ class SyncVectorEnv:
     environments that finish are reset immediately and their *fresh*
     state is returned (the terminal transition's true next-state is
     surfaced in ``infos[i]["terminal_state"]`` so replay stores the
-    correct tuple).
+    correct tuple).  See :mod:`repro.env.protocol` for the full
+    contract shared with the async backend.
+
+    .. deprecated::
+        Constructing ``SyncVectorEnv`` directly is deprecated; use
+        :func:`repro.env.factory.make_vector_env`, which also selects
+        the process-parallel backend and wires telemetry.
     """
 
-    def __init__(self, env_fns: Sequence[Callable[[], Any]]):
+    def __init__(
+        self,
+        env_fns: Sequence[Callable[[], Any]],
+        *,
+        tracer=None,
+        metrics=None,
+    ):
+        warnings.warn(
+            "constructing SyncVectorEnv directly is deprecated; use "
+            "repro.env.factory.make_vector_env(env_fns=..., "
+            "backend='sync') instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._init(env_fns, tracer=tracer, metrics=metrics)
+
+    @classmethod
+    def _from_factory(
+        cls,
+        env_fns: Sequence[Callable[[], Any]],
+        *,
+        tracer=None,
+        metrics=None,
+    ) -> "SyncVectorEnv":
+        """Construct without the direct-call deprecation warning."""
+        self = object.__new__(cls)
+        self._init(env_fns, tracer=tracer, metrics=metrics)
+        return self
+
+    def _init(self, env_fns, *, tracer=None, metrics=None) -> None:
         if not env_fns:
             raise ValueError("need at least one environment")
+        #: Optional :class:`repro.telemetry.spans.SpanTracer` /
+        #: :class:`repro.telemetry.metrics.MetricsRegistry`; the sync
+        #: backend records a "vector-step" span per batch step.
+        self.tracer = tracer
+        self.metrics = metrics
+        self.worker_restarts = 0
+        if metrics is not None:
+            # In-process envs never restart, but registering the
+            # counter keeps telemetry output uniform across backends.
+            metrics.counter(RESTARTS_METRIC)
         self.envs = [fn() for fn in env_fns]
         dims = {e.state_dim for e in self.envs}
         acts = {e.n_actions for e in self.envs}
@@ -48,21 +101,24 @@ class SyncVectorEnv:
 
     def reset(self) -> np.ndarray:
         """Reset every env; returns (n_envs, state_dim)."""
-        return np.stack([e.reset() for e in self.envs])
+        return np.stack([e.reset() for e in self.envs]).astype(np.float64)
 
     def step(
-        self, actions: Sequence[int]
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, list[dict]]:
+        self, actions
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, tuple]:
         """Step all envs; returns (states, rewards, dones, infos)."""
-        if len(actions) != self.n_envs:
-            raise ValueError(
-                f"expected {self.n_envs} actions, got {len(actions)}"
-            )
+        acts = coerce_actions(actions, self.n_envs)
+        if self.tracer is None:
+            return self._step(acts)
+        with self.tracer.span("vector-step"):
+            return self._step(acts)
+
+    def _step(self, acts: np.ndarray):
         states = np.empty((self.n_envs, self.state_dim))
         rewards = np.empty(self.n_envs)
         dones = np.zeros(self.n_envs, dtype=bool)
         infos: list[dict] = []
-        for i, (env, action) in enumerate(zip(self.envs, actions)):
+        for i, (env, action) in enumerate(zip(self.envs, acts)):
             state, reward, done, info = env.step(int(action))
             if done:
                 info = dict(info, terminal_state=state)
@@ -71,7 +127,7 @@ class SyncVectorEnv:
             rewards[i] = reward
             dones[i] = done
             infos.append(info)
-        return states, rewards, dones, infos
+        return states, rewards, dones, tuple(infos)
 
     def close(self) -> None:
         """Close every wrapped environment (ignoring missing close)."""

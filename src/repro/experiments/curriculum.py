@@ -5,10 +5,12 @@ single-complex training transfers nothing.  The obvious remedy the
 paper's "scalable to any other scenario" goal implies is training on
 *many* complexes at once.  This driver trains one agent over N
 same-size-class complexes stepped in lockstep
-(:class:`repro.env.vectorized.SyncVectorEnv` +
+(:func:`repro.env.factory.make_vector_env` +
 :class:`repro.rl.vector_trainer.VectorTrainer`) and evaluates on a
 held-out complex, against a single-complex baseline trained with the
-same total transition budget.
+same total transition budget.  The ``backend`` knob selects the vector
+backend ("sync", "async", or "auto"); the process-parallel async
+backend steps the N complexes concurrently (see docs/PARALLELISM.md).
 """
 
 from __future__ import annotations
@@ -21,7 +23,7 @@ import numpy as np
 from repro.chem.builders import build_complex
 from repro.config import DQNDockingConfig
 from repro.env.docking_env import make_env
-from repro.env.vectorized import SyncVectorEnv
+from repro.env.factory import make_vector_env
 from repro.experiments.figure4 import build_agent
 from repro.rl.evaluation import EvaluationResult, evaluate_policy
 from repro.rl.vector_trainer import VectorTrainer
@@ -78,16 +80,23 @@ def run_curriculum_experiment(
     n_train_complexes: int = 4,
     total_steps: int | None = None,
     eval_episodes: int = 3,
+    backend: str = "sync",
+    telemetry=None,
 ) -> CurriculumResult:
     """Train curriculum vs single-complex agents; evaluate held-out.
 
     The held-out complex's seed is disjoint from every training seed.
     Both regimes see exactly ``total_steps`` environment transitions
-    (default: the config's episodes x max-steps budget).
+    (default: the config's episodes x max-steps budget).  ``backend``
+    selects the vector-env backend for the curriculum phase; a
+    :class:`repro.telemetry.TelemetryRun` passed as ``telemetry``
+    receives the backend's spans and ``vector_env/*`` metrics.
     """
     if n_train_complexes < 2:
         raise ValueError("curriculum needs at least 2 complexes")
     steps = total_steps or cfg.episodes * cfg.max_steps_per_episode
+    tracer = telemetry.tracer if telemetry is not None else None
+    registry = telemetry.registry if telemetry is not None else None
 
     train_seeds = [
         cfg.complex.seed + 1000 * k for k in range(n_train_complexes)
@@ -96,11 +105,13 @@ def run_curriculum_experiment(
 
     # Curriculum agent: N complexes in lockstep.
     builts = [build_complex(_complex_cfg(cfg, s)) for s in train_seeds]
-    venv = SyncVectorEnv(
-        [
-            (lambda b=b: make_env(cfg, b))
-            for b in builts
-        ]
+    venv = make_vector_env(
+        cfg,
+        builts=builts,
+        n_envs=n_train_complexes,
+        backend=backend,
+        tracer=tracer,
+        metrics=registry,
     )
     try:
         curriculum_agent = build_agent(cfg, venv.state_dim, venv.n_actions)
@@ -110,13 +121,16 @@ def run_curriculum_experiment(
             learning_start=cfg.learning_start,
             target_update_steps=cfg.target_update_steps,
             train_interval=cfg.train_interval,
+            tracer=tracer,
         ).run(steps)
     finally:
         venv.close()
 
-    # Single-complex baseline at the same budget.
+    # Single-complex baseline at the same budget (serial: one env).
     single_built = builts[0]
-    single_venv = SyncVectorEnv([lambda: make_env(cfg, single_built)])
+    single_venv = make_vector_env(
+        cfg, builts=[single_built], backend="sync"
+    )
     try:
         single_agent = build_agent(
             cfg, single_venv.state_dim, single_venv.n_actions

@@ -1,10 +1,17 @@
-"""Batched-acting trainer over a :class:`SyncVectorEnv`.
+"""Batched-acting trainer over any :class:`repro.env.protocol.VectorEnv`.
 
 Algorithm 2 with the act step vectorized: one Q-network forward serves
 all N environments per step.  Learning stays identical (one gradient
 step per ``train_interval`` *environment* transitions, same replay
 semantics), so results are comparable to the sequential trainer at equal
 transition counts while the wall-clock amortizes the network cost.
+
+The trainer is backend-agnostic: it only uses the ``VectorEnv``
+protocol (``reset``/``step``/``n_envs``), so the serial
+:class:`~repro.env.vectorized.SyncVectorEnv` and the process-parallel
+:class:`~repro.env.async_vectorized.AsyncVectorEnv` are
+interchangeable -- construct either via
+:func:`repro.env.factory.make_vector_env`.
 """
 
 from __future__ import annotations
@@ -14,13 +21,20 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.env.vectorized import SyncVectorEnv
+from repro.env.protocol import VectorEnv
 from repro.telemetry.spans import SpanTracer
 
 
 @dataclass
 class VectorRunStats:
-    """Aggregate results of a vectorized collection run."""
+    """Aggregate results of a vectorized collection run.
+
+    ``best_score`` is NaN (never ``-inf``) when no environment ever
+    reported a finite ``score`` info, so downstream stats/telemetry
+    can test ``isfinite`` instead of special-casing the sentinel.
+    ``timer_report`` renders the tracer the run actually used -- the
+    externally supplied one when the trainer was given a tracer.
+    """
 
     total_steps: int
     episodes_completed: int
@@ -29,6 +43,9 @@ class VectorRunStats:
     wall_seconds: float
     steps_per_second: float
     timer_report: str
+    #: Worker respawns performed by the vector env during the run
+    #: (always 0 for in-process backends).
+    worker_restarts: int = 0
 
 
 class VectorTrainer:
@@ -36,7 +53,7 @@ class VectorTrainer:
 
     def __init__(
         self,
-        venv: SyncVectorEnv,
+        venv: VectorEnv,
         agent,
         *,
         learning_start: int = 0,
@@ -69,6 +86,7 @@ class VectorTrainer:
         if total_steps < 1:
             raise ValueError("total_steps must be >= 1")
         tracer = self.tracer if self.tracer is not None else SpanTracer()
+        restarts_before = getattr(self.venv, "worker_restarts", 0)
         t0 = time.perf_counter()
         states = self.venv.reset()
         global_step = 0
@@ -126,9 +144,14 @@ class VectorTrainer:
         return VectorRunStats(
             total_steps=global_step,
             episodes_completed=episodes,
-            best_score=best_score,
+            best_score=(
+                best_score if np.isfinite(best_score) else float("nan")
+            ),
             mean_reward=reward_sum / max(global_step, 1),
             wall_seconds=wall,
             steps_per_second=global_step / max(wall, 1e-9),
             timer_report=tracer.report(),
+            worker_restarts=(
+                getattr(self.venv, "worker_restarts", 0) - restarts_before
+            ),
         )

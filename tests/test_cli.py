@@ -93,6 +93,24 @@ class TestCommands:
         assert "Sweep over gamma" in out
         assert "best setting" in out
 
+    def test_curriculum(self, capsys, tmp_path):
+        code = main(
+            [
+                "curriculum",
+                "--complexes", "2",
+                "--episodes", "2",
+                "--eval-episodes", "1",
+                "--backend", "auto",
+                "--log-dir", str(tmp_path / "run"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Curriculum transfer" in out
+        # The vector backend's telemetry landed in the run directory.
+        metrics = (tmp_path / "run" / "metrics.csv").read_text()
+        assert "vector_env/worker_restarts" in metrics
+
     def test_sweep_value_parsing(self):
         from repro.cli import _parse_value
 

@@ -96,11 +96,11 @@ class TestLibraryMetadata:
 
 class TestVectorEnvWithWrappers:
     def test_wrapped_envs_vectorize(self, small_complex):
-        from repro.env.vectorized import SyncVectorEnv
+        from repro.env.factory import make_vector_env
         from repro.env.wrappers import TimeLimit
 
-        venv = SyncVectorEnv(
-            [
+        venv = make_vector_env(
+            env_fns=[
                 lambda: TimeLimit(
                     DockingEnv(MetadockEngine(small_complex)), 5
                 )

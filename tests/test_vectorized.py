@@ -3,14 +3,18 @@
 import numpy as np
 import pytest
 
+from repro.env.factory import make_vector_env
 from repro.env.vectorized import SyncVectorEnv
 from repro.rl.vector_trainer import VectorTrainer
+from repro.telemetry.spans import SpanTracer
 
 from tests.test_rl_trainer import CountingEnv, tiny_agent
 
 
 def make_venv(n=3, horizon=6):
-    return SyncVectorEnv([lambda: CountingEnv(horizon=horizon)] * n)
+    return make_vector_env(
+        env_fns=[lambda: CountingEnv(horizon=horizon)] * n, backend="sync"
+    )
 
 
 class TestSyncVectorEnv:
@@ -28,7 +32,7 @@ class TestSyncVectorEnv:
         assert states.shape == (2, 2)
         assert rewards.shape == (2,)
         assert dones.shape == (2,)
-        assert len(infos) == 2
+        assert isinstance(infos, tuple) and len(infos) == 2
         assert rewards[0] == 1.0 and rewards[1] == -1.0
 
     def test_auto_reset_and_terminal_state(self):
@@ -49,9 +53,30 @@ class TestSyncVectorEnv:
         with pytest.raises(ValueError):
             venv.step([0])
 
+    def test_action_ndim_validated(self):
+        venv = make_venv(2)
+        venv.reset()
+        with pytest.raises(ValueError):
+            venv.step(np.zeros((2, 1), dtype=int))
+
+    def test_float_actions_rejected(self):
+        venv = make_venv(2)
+        venv.reset()
+        with pytest.raises(TypeError):
+            venv.step(np.array([0.0, 1.0]))
+        with pytest.raises(TypeError):
+            venv.step([0.5, 1.5])
+
+    def test_integer_array_likes_accepted(self):
+        venv = make_venv(2)
+        venv.reset()
+        for actions in ([0, 1], (0, 1), np.array([0, 1], dtype=np.int32)):
+            _s, rewards, _d, _i = venv.step(actions)
+            assert rewards.shape == (2,)
+
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
-            SyncVectorEnv([])
+            make_vector_env(env_fns=[])
 
     def test_mismatched_envs_rejected(self):
         class OtherEnv(CountingEnv):
@@ -60,14 +85,19 @@ class TestSyncVectorEnv:
                 self.state_dim = 5
 
         with pytest.raises(ValueError):
-            SyncVectorEnv([lambda: CountingEnv(), OtherEnv])
+            make_vector_env(env_fns=[lambda: CountingEnv(), OtherEnv])
+
+    def test_direct_construction_deprecated_but_works(self):
+        with pytest.warns(DeprecationWarning, match="make_vector_env"):
+            venv = SyncVectorEnv([lambda: CountingEnv()])
+        assert venv.reset().shape == (1, 2)
 
     def test_docking_envs_vectorize(self, small_complex):
         from repro.env.docking_env import DockingEnv
         from repro.metadock.engine import MetadockEngine
 
-        venv = SyncVectorEnv(
-            [
+        venv = make_vector_env(
+            env_fns=[
                 lambda: DockingEnv(
                     MetadockEngine(small_complex, shift_length=0.8)
                 )
@@ -95,6 +125,7 @@ class TestVectorTrainer:
         assert len(agent.replay) == 30
         assert stats.episodes_completed == 6  # 30 steps / (3 envs * 5)... per env 10 steps -> 2 episodes each
         assert agent.learn_steps > 0
+        assert stats.worker_restarts == 0
 
     def test_update_density_matches_sequential(self):
         venv = make_venv(2, horizon=100)
@@ -141,3 +172,28 @@ class TestVectorTrainer:
         assert stats.steps_per_second > 0
         assert np.isfinite(stats.mean_reward)
         assert "env-step" in stats.timer_report
+
+    def test_external_tracer_reflected_in_report(self):
+        # timer_report must render the tracer the caller supplied, and
+        # the caller's tracer must accumulate the run's spans.
+        tracer = SpanTracer()
+        venv = make_venv(2, horizon=5)
+        stats = VectorTrainer(venv, tiny_agent(), tracer=tracer).run(
+            total_steps=20
+        )
+        assert stats.timer_report == tracer.report()
+        assert tracer.get("env-step") is not None
+        assert tracer.get("env-step").count == 10  # 20 steps / 2 envs
+
+    def test_best_score_nan_safe_without_finite_scores(self):
+        class ScorelessEnv(CountingEnv):
+            def step(self, action):
+                state, reward, done, _info = super().step(action)
+                return state, reward, done, {}
+
+        venv = make_vector_env(
+            env_fns=[lambda: ScorelessEnv(horizon=5)] * 2
+        )
+        stats = VectorTrainer(venv, tiny_agent()).run(total_steps=20)
+        # No env ever reported a finite score: NaN, never -inf.
+        assert np.isnan(stats.best_score)
