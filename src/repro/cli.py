@@ -106,6 +106,12 @@ def build_parser() -> argparse.ArgumentParser:
         ],
     )
     p.add_argument("--learning-rate", type=float, default=0.002)
+    p.add_argument(
+        "--compact-states",
+        action="store_true",
+        help="store only the dynamic ligand tail in replay "
+        "(float32 hot loop; see docs/PERFORMANCE.md)",
+    )
 
     p = sub.add_parser("baselines", help="DQN vs MC vs metaheuristics")
     _add_common(p)
@@ -228,6 +234,7 @@ def _cmd_figure4(args) -> int:
         max_steps=args.max_steps,
         learning_rate=args.learning_rate,
         variant=args.variant,
+        compact_states=args.compact_states,
     )
 
     def work(telemetry):

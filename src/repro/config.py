@@ -128,6 +128,13 @@ class DQNDockingConfig:
     #: Environment communication layer: "ram" or "file" (the paper used
     #: on-disk files; limitation #1 of Section 5).
     comm_mode: str = "ram"
+    #: Compact-state hot loop: the env emits only the dynamic ligand
+    #: tail (float32), the replay stores the constant receptor block
+    #: once, and the agent reconstructs full states on demand (see
+    #: docs/PERFORMANCE.md).  Off by default to keep the paper-shaped
+    #: float64 pipeline bit-for-bit unchanged; not available with the
+    #: "distributional" variant.
+    compact_states: bool = False
     #: Steps between agent training updates (1 = update every step).
     train_interval: int = 1
     #: Loss used for the Bellman residual ("mse" per the paper's Eq.;
@@ -158,6 +165,11 @@ class DQNDockingConfig:
             raise ValueError(f"unknown variant {self.variant!r}")
         if self.comm_mode not in {"ram", "file"}:
             raise ValueError(f"unknown comm_mode {self.comm_mode!r}")
+        if self.compact_states and self.variant == "distributional":
+            raise ValueError(
+                "compact_states is not supported with the distributional "
+                "variant (C51 keeps the dense float64 replay)"
+            )
         if self.loss not in {"mse", "huber"}:
             raise ValueError(f"unknown loss {self.loss!r}")
         if self.activation not in {"relu", "tanh", "sigmoid", "linear"}:

@@ -9,9 +9,10 @@ cores instead of time-slicing one.
 
 Data exchange reuses the :class:`repro.env.comm.CommChannel`
 abstraction via :class:`repro.env.comm.SharedSlotComm`: states land in
-one preallocated ``(n_envs, state_dim)`` float64 shared block and
-rewards in an ``(n_envs,)`` block, written in place by workers --
-no per-step pickling of 16k-float state vectors.  Only the small,
+one preallocated ``(n_envs, state_dim)`` shared block (float64, or
+float32 when the envs advertise a compact ``state_dtype``) and rewards
+in an ``(n_envs,)`` block, written in place by workers -- no per-step
+pickling of 16k-float state vectors.  Only the small,
 irregular payloads (done flags, info dicts, terminal states) travel
 over the command pipes.
 
@@ -57,6 +58,7 @@ def _worker(
     rewards_buf,
     state_dim: int,
     n_envs: int,
+    state_dtype: str = "float64",
 ) -> None:
     """Worker loop: own one env, answer reset/step/close commands.
 
@@ -69,7 +71,8 @@ def _worker(
     try:
         env = env_fn()
         conn.send(("ready", (int(env.state_dim), int(env.n_actions))))
-        states = np.frombuffer(states_buf, dtype=np.float64).reshape(
+        dtype = np.dtype(state_dtype)
+        states = np.frombuffer(states_buf, dtype=dtype).reshape(
             n_envs, state_dim
         )
         rewards = np.frombuffer(rewards_buf, dtype=np.float64)
@@ -83,9 +86,12 @@ def _worker(
             elif cmd == "step":
                 state, reward, done, info = env.step(int(data))
                 if done:
+                    # np.array (not asarray): compact envs reuse their
+                    # emission buffers, and the reset below would
+                    # otherwise clobber the terminal state.
                     info = dict(
                         info,
-                        terminal_state=np.asarray(state, dtype=np.float64),
+                        terminal_state=np.array(state, dtype=dtype),
                     )
                     state = env.reset()
                 comm.exchange(state, reward)
@@ -191,6 +197,11 @@ class AsyncVectorEnv(VectorEnv):
         try:
             self.state_dim = int(probe.state_dim)
             self.n_actions = int(probe.n_actions)
+            #: Dtype of the shared state block (float32 when the envs
+            #: emit compact dynamic tails; see repro.env.protocol).
+            self.state_dtype = np.dtype(
+                getattr(probe, "state_dtype", np.float64)
+            )
         finally:
             close = getattr(probe, "close", None)
             if close is not None:
@@ -199,17 +210,28 @@ class AsyncVectorEnv(VectorEnv):
 
         n = len(self.env_fns)
         # The preallocated exchange blocks: one (n_envs, state_dim)
-        # float64 state block plus an (n_envs,) reward block, shared
-        # with every worker (anonymous mmap, inherited on fork).
-        self._states_buf = self._ctx.RawArray("d", n * self.state_dim)
+        # state block in the envs' advertised dtype plus an (n_envs,)
+        # float64 reward block, shared with every worker (anonymous
+        # mmap, inherited on fork).
+        typecodes = {np.dtype(np.float64): "d", np.dtype(np.float32): "f"}
+        if self.state_dtype not in typecodes:
+            raise ValueError(
+                f"unsupported state dtype {self.state_dtype} for the "
+                "shared-memory backend (float32/float64 only)"
+            )
+        self._states_buf = self._ctx.RawArray(
+            typecodes[self.state_dtype], n * self.state_dim
+        )
         self._rewards_buf = self._ctx.RawArray("d", n)
         self._states = np.frombuffer(
-            self._states_buf, dtype=np.float64
+            self._states_buf, dtype=self.state_dtype
         ).reshape(n, self.state_dim)
         self._rewards = np.frombuffer(self._rewards_buf, dtype=np.float64)
         # Last states handed to the caller; used as the discarded
         # episode's terminal state when a worker is respawned mid-step.
-        self._last_states = np.zeros((n, self.state_dim))
+        self._last_states = np.zeros(
+            (n, self.state_dim), dtype=self.state_dtype
+        )
 
         self._procs: list = [None] * n
         self._conns: list = [None] * n
@@ -248,6 +270,7 @@ class AsyncVectorEnv(VectorEnv):
                 self._rewards_buf,
                 self.state_dim,
                 len(self.env_fns),
+                self.state_dtype.name,
             ),
             daemon=True,
             name=f"async-vec-env-{i}",

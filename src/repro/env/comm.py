@@ -112,7 +112,9 @@ class SharedSlotComm(CommChannel):
         self.round_trips = 0
 
     def exchange(self, state: np.ndarray, score: float) -> tuple[np.ndarray, float]:
-        state = np.asarray(state, dtype=np.float64)
+        # Adopt the slot's dtype: float64 classically, float32 when the
+        # block carries compact dynamic tails.
+        state = np.asarray(state, dtype=self.state_slot.dtype)
         if state.shape != self.state_slot.shape:
             raise ValueError(
                 f"state shape {state.shape} does not fit slot "

@@ -33,7 +33,18 @@ from repro.metadock.pose import Pose
 
 
 class DockingEnv:
-    """Gym-flavoured environment over a :class:`MetadockEngine`."""
+    """Gym-flavoured environment over a :class:`MetadockEngine`.
+
+    With ``compact_states=True`` the env emits only the dynamic ligand
+    tail of the state (float32, written into the engine's reusable
+    buffers) instead of the paper-shaped full vector; the constant
+    receptor prefix is available once via :meth:`static_state` and the
+    observation space shrinks to ``engine.dynamic_dim()``.  Consumers
+    (agent, vector backends) reconstruct full states on demand;
+    :meth:`full_state` still produces the paper-shaped vector for
+    checkpoints and external tools.  Emitted tails stay valid for one
+    subsequent step (the engine double-buffers) -- copy to hold longer.
+    """
 
     def __init__(
         self,
@@ -46,6 +57,7 @@ class DockingEnv:
         randomize_reset: bool = False,
         reset_rng=None,
         tracer=None,
+        compact_states: bool = False,
     ):
         if escape_factor <= 1.0:
             raise ValueError("escape_factor must exceed 1.0")
@@ -63,16 +75,25 @@ class DockingEnv:
         self.comm = comm or RamComm()
         self.randomize_reset = bool(randomize_reset)
         self._reset_rng = reset_rng
+        self.compact_states = bool(compact_states)
 
         self.action_space = Discrete(engine.n_actions)
-        self.observation_space = Box(
-            -math.inf, math.inf, (engine.state_dim(),)
+        obs_dim = (
+            engine.dynamic_dim() if self.compact_states
+            else engine.state_dim()
         )
+        self.observation_space = Box(-math.inf, math.inf, (obs_dim,))
         self._escape_radius = self.escape_factor * engine.initial_com_distance()
         self._last_score: float = float("nan")
         self._low_score_streak = 0
         self.episode_steps = 0
         self.total_steps = 0
+
+    def _emit_state(self) -> np.ndarray:
+        """Current state in the env's emission format."""
+        if self.compact_states:
+            return self.engine.dynamic_state()
+        return self.engine.state_vector()
 
     # -- protocol ------------------------------------------------------------
     def reset(self) -> np.ndarray:
@@ -82,10 +103,12 @@ class DockingEnv:
             # Jitter the start slightly: keeps the start distribution
             # near Figure 3 position (A) while decorrelating episodes.
             jitter = self._reset_rng.normal(scale=0.5, size=3)
-            obs = self.engine.reset()
-            pose = obs.pose.translated(jitter)
-        obs = self.engine.reset(pose)
-        state, score = self.comm.exchange(obs.state, obs.score)
+            self.engine.reset(observe=False)
+            pose = self.engine.pose.translated(jitter)
+        self.engine.reset(pose, observe=False)
+        state, score = self.comm.exchange(
+            self._emit_state(), self.engine.score()
+        )
         self._last_score = score
         self._low_score_streak = 0
         self.episode_steps = 0
@@ -102,14 +125,16 @@ class DockingEnv:
         tr = self.tracer
         if tr is None:
             self.engine.apply_action(int(action))
-            obs = self.engine.observe()
-            state, score = self.comm.exchange(obs.state, obs.score)
+            state, score = self.comm.exchange(
+                self._emit_state(), self.engine.score()
+            )
         else:
             with tr.span("engine-step"):
                 self.engine.apply_action(int(action))
-                obs = self.engine.observe()
+                state = self._emit_state()
+                score = self.engine.score()
             with tr.span("comm-exchange"):
-                state, score = self.comm.exchange(obs.state, obs.score)
+                state, score = self.comm.exchange(state, score)
 
         # Paper reward rules: sign of the clipped score change.
         delta = score - self._last_score
@@ -152,8 +177,32 @@ class DockingEnv:
 
     @property
     def state_dim(self) -> int:
-        """State-vector length."""
+        """Emitted state length (dynamic tail only in compact mode)."""
         return self.observation_space.shape[0]
+
+    @property
+    def state_dtype(self):
+        """Dtype of emitted states (float32 in compact mode)."""
+        return np.float32 if self.compact_states else np.float64
+
+    @property
+    def full_state_dim(self) -> int:
+        """Paper-shaped state length, independent of emission mode."""
+        return self.engine.state_dim()
+
+    def static_state(self) -> np.ndarray | None:
+        """Constant state prefix (float32) in compact mode, else None."""
+        if not self.compact_states:
+            return None
+        return self.engine.static_state()
+
+    def full_state(self) -> np.ndarray:
+        """Paper-shaped full state of the current pose (fresh float64).
+
+        Available in both modes -- checkpoints and external consumers
+        use this regardless of what the hot loop emits.
+        """
+        return self.engine.state_vector()
 
     @property
     def n_actions(self) -> int:
@@ -196,4 +245,5 @@ def make_env(
         low_score_patience=cfg.low_score_patience,
         low_score_threshold=cfg.low_score_threshold,
         comm=comm,
+        compact_states=getattr(cfg, "compact_states", False),
     )

@@ -100,6 +100,17 @@ def make_vector_env(
                 raise ValueError(
                     f"got {len(builts)} built complexes for n_envs={n_envs}"
                 )
+        if getattr(cfg, "compact_states", False):
+            # Compact replay factors out ONE constant receptor prefix;
+            # distinct complexes have distinct prefixes, so the
+            # multi-complex curriculum must use the dense pipeline.
+            if len({id(b) for b in builts}) > 1:
+                raise ValueError(
+                    "compact_states requires a single shared complex: "
+                    "distinct built complexes have distinct static "
+                    "state prefixes (disable compact_states for "
+                    "multi-complex curricula)"
+                )
         env_fns = [(lambda b=b: make_env(cfg, b)) for b in builts]
     else:
         env_fns = list(env_fns)

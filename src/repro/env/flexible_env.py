@@ -35,6 +35,7 @@ class FlexibleDockingEnv(DockingEnv):
         low_score_patience: int = 20,
         low_score_threshold: float = -100000.0,
         comm: CommChannel | None = None,
+        compact_states: bool = False,
     ):
         engine = MetadockEngine(
             built,
@@ -49,6 +50,7 @@ class FlexibleDockingEnv(DockingEnv):
             low_score_patience=low_score_patience,
             low_score_threshold=low_score_threshold,
             comm=comm,
+            compact_states=compact_states,
         )
         self.n_torsions = int(n_torsions)
 

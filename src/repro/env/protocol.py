@@ -20,9 +20,14 @@ The contract
   dimensionality or length raises :class:`ValueError`.  It returns a
   4-tuple ``(states, rewards, dones, infos)``:
 
-  * ``states`` -- ``(n_envs, state_dim)`` float64; for environments
-    that finished this step, the row holds the **fresh post-reset
-    state** (auto-reset), not the terminal state;
+  * ``states`` -- ``(n_envs, state_dim)``; float64 by default, but an
+    environment may advertise a ``state_dtype`` attribute (e.g. the
+    float32 compact docking states of
+    ``DockingEnv(compact_states=True)``) and every backend then
+    carries that dtype end-to-end, including through the async
+    backend's shared-memory block.  For environments that finished
+    this step, the row holds the **fresh post-reset state**
+    (auto-reset), not the terminal state;
   * ``rewards`` -- ``(n_envs,)`` float64;
   * ``dones`` -- ``(n_envs,)`` bool;
   * ``infos`` -- a **tuple** of ``n_envs`` dicts.  When ``dones[i]``
@@ -33,6 +38,9 @@ The contract
   backends, reaps the worker processes).  It is idempotent.
 - ``state_dim`` / ``n_actions`` -- shared by all wrapped environments;
   construction fails with :class:`ValueError` if they disagree.
+- ``state_dtype`` -- dtype of the stacked state arrays, resolved from
+  the wrapped environments' ``state_dtype`` attribute (default
+  float64 when absent).
 - ``n_envs`` -- the number of wrapped environments.
 - ``worker_restarts`` -- how many crashed workers were respawned so
   far (always 0 for in-process backends).

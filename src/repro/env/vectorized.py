@@ -93,6 +93,14 @@ class SyncVectorEnv(VectorEnv):
             )
         self.state_dim = dims.pop()
         self.n_actions = acts.pop()
+        dtypes = {
+            np.dtype(getattr(e, "state_dtype", np.float64))
+            for e in self.envs
+        }
+        if len(dtypes) != 1:
+            raise ValueError(f"environments disagree: state dtypes {dtypes}")
+        #: Dtype of the stacked state arrays (float32 for compact envs).
+        self.state_dtype = dtypes.pop()
 
     @property
     def n_envs(self) -> int:
@@ -101,7 +109,9 @@ class SyncVectorEnv(VectorEnv):
 
     def reset(self) -> np.ndarray:
         """Reset every env; returns (n_envs, state_dim)."""
-        return np.stack([e.reset() for e in self.envs]).astype(np.float64)
+        return np.stack(
+            [e.reset() for e in self.envs]
+        ).astype(self.state_dtype)
 
     def step(
         self, actions
@@ -114,14 +124,20 @@ class SyncVectorEnv(VectorEnv):
             return self._step(acts)
 
     def _step(self, acts: np.ndarray):
-        states = np.empty((self.n_envs, self.state_dim))
+        states = np.empty((self.n_envs, self.state_dim), dtype=self.state_dtype)
         rewards = np.empty(self.n_envs)
         dones = np.zeros(self.n_envs, dtype=bool)
         infos: list[dict] = []
         for i, (env, action) in enumerate(zip(self.envs, acts)):
             state, reward, done, info = env.step(int(action))
             if done:
-                info = dict(info, terminal_state=state)
+                # Snapshot: compact envs reuse their emission buffers,
+                # and the reset below would otherwise clobber the
+                # terminal state the replay needs.
+                info = dict(
+                    info,
+                    terminal_state=np.array(state, dtype=self.state_dtype),
+                )
                 state = env.reset()
             states[i] = state
             rewards[i] = reward

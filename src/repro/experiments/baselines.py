@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.chem.builders import build_complex
 from repro.config import DQNDockingConfig
 from repro.env.docking_env import make_env
-from repro.experiments.figure4 import build_agent
+from repro.experiments.figure4 import build_agent_for_env
 from repro.metadock.engine import MetadockEngine
 from repro.metadock.metaheuristic import MetaheuristicSchema
 from repro.metadock.montecarlo import MonteCarloConfig, MonteCarloOptimizer
@@ -122,7 +122,7 @@ def run_baseline_comparison(
     if include_dqn:
         env = make_env(cfg, built)
         try:
-            agent = build_agent(cfg, env.state_dim, env.n_actions)
+            agent = build_agent_for_env(cfg, env)
             max_steps = min(cfg.max_steps_per_episode, max(1, budget // 4))
             episodes = max(1, budget // max_steps)
             trainer = Trainer(

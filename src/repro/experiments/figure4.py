@@ -104,12 +104,47 @@ class Figure4Result:
         return "\n".join(lines)
 
 
-def build_agent(cfg: DQNDockingConfig, state_dim: int, n_actions: int):
-    """Agent factory honouring the config's ``variant``."""
+def build_agent(
+    cfg: DQNDockingConfig,
+    state_dim: int,
+    n_actions: int,
+    *,
+    static_state=None,
+):
+    """Agent factory honouring the config's ``variant``.
+
+    ``static_state`` (the constant receptor prefix from a compact-mode
+    environment) switches the DQN agent to compact replay; ``state_dim``
+    must then be the paper-shaped *full* dimension, not the emitted
+    tail length.
+    """
     agent_cfg = AgentConfig.from_run_config(cfg, state_dim, n_actions)
     if cfg.variant == "distributional":
+        if static_state is not None:
+            raise ValueError(
+                "compact states are not supported with the "
+                "distributional variant"
+            )
         return DistributionalDQNAgent(agent_cfg)
-    return DQNAgent(agent_cfg)
+    return DQNAgent(agent_cfg, static_state=static_state)
+
+
+def build_agent_for_env(cfg: DQNDockingConfig, env):
+    """Build the agent matched to ``env``'s emission mode.
+
+    Compact envs emit float32 dynamic tails, so the agent is built on
+    the *full* paper-shaped dimension with the env's constant receptor
+    prefix; dense envs get the classic pairing.  Works through
+    :class:`repro.env.wrappers.Wrapper` chains (attribute delegation).
+    """
+    if getattr(env, "compact_states", False):
+        return build_agent(
+            cfg,
+            env.full_state_dim,
+            env.n_actions,
+            static_state=env.static_state(),
+        )
+    return build_agent(cfg, env.state_dim, env.n_actions)
 
 
 def run_figure4_experiment(
@@ -136,7 +171,10 @@ def run_figure4_experiment(
         env.tracer = tracer
         env.engine.tracer = tracer
     try:
-        agent = build_agent(cfg, env.state_dim, env.n_actions)
+        # Compact mode: the env emits float32 dynamic tails; the agent
+        # gets the full paper-shaped dimension plus the constant
+        # receptor prefix and reconstructs states on demand.
+        agent = build_agent_for_env(cfg, env)
         if tracer is not None:
             agent.tracer = tracer
         trainer = Trainer(

@@ -26,7 +26,10 @@ import numpy as np
 from repro.chem.builders import build_complex
 from repro.config import DQNDockingConfig
 from repro.env.docking_env import make_env
-from repro.experiments.figure4 import build_agent, run_figure4_experiment
+from repro.experiments.figure4 import (
+    build_agent_for_env,
+    run_figure4_experiment,
+)
 from repro.rl.evaluation import EvaluationResult, evaluate_policy
 from repro.utils.tables import render_table
 
@@ -109,7 +112,7 @@ def run_generalization_experiment(
                 max_steps=cfg.max_steps_per_episode,
                 rng=cfg.seed + k,
             )
-            fresh = build_agent(target_cfg, env.state_dim, env.n_actions)
+            fresh = build_agent_for_env(target_cfg, env)
             untrained = evaluate_policy(
                 env,
                 fresh,

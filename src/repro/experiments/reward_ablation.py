@@ -28,7 +28,7 @@ from repro.chem.builders import build_complex
 from repro.config import DQNDockingConfig
 from repro.env.docking_env import make_env
 from repro.env.wrappers import Wrapper
-from repro.experiments.figure4 import build_agent
+from repro.experiments.figure4 import build_agent_for_env
 from repro.rl.trainer import Trainer, TrainingHistory
 from repro.utils.tables import render_table
 
@@ -109,7 +109,7 @@ def run_reward_ablation(
             make_env(cfg, built), scheme, gamma=cfg.gamma
         )
         try:
-            agent = build_agent(cfg, env.state_dim, env.n_actions)
+            agent = build_agent_for_env(cfg, env)
             history = Trainer(
                 env,
                 agent,

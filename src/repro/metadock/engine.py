@@ -127,6 +127,26 @@ class MetadockEngine:
         self._receptor_flat = np.ascontiguousarray(
             self.receptor.coords.reshape(-1)
         )
+        # Compact-state support: the receptor block is constant for the
+        # whole run, so it is exposed once (float32, read-only) while
+        # per-step emission only writes the dynamic ligand tail into one
+        # of two reusable buffers.  Two buffers, flipped per call, keep
+        # state(t) and next_state(t) simultaneously valid for the
+        # trainer's remember() -- callers holding tails longer than one
+        # step must copy them.
+        if self.include_receptor_in_state:
+            self._static_f32 = np.ascontiguousarray(
+                self._receptor_flat, dtype=np.float32
+            )
+        else:
+            self._static_f32 = np.zeros(0, dtype=np.float32)
+        self._static_f32.flags.writeable = False
+        dyn = 3 * self.template.n_atoms + 3 * self.template.n_bonds
+        self._dyn_bufs = (
+            np.empty(dyn, dtype=np.float32),
+            np.empty(dyn, dtype=np.float32),
+        )
+        self._dyn_flip = 0
         self.pose: Pose = self._initial_pose
         self._coords_cache: np.ndarray | None = None
         self._score_cache: float | None = None
@@ -178,11 +198,18 @@ class MetadockEngine:
         self._invalidate()
 
     # -- state & scoring -----------------------------------------------------
-    def reset(self, pose: Pose | None = None) -> EngineObservation:
-        """Reset to the initial (or a given) pose and return the snapshot."""
+    def reset(
+        self, pose: Pose | None = None, *, observe: bool = True
+    ) -> EngineObservation | None:
+        """Reset to the initial (or a given) pose.
+
+        Returns the full :class:`EngineObservation` snapshot, or None
+        with ``observe=False`` (the compact hot path, which skips
+        building the paper-shaped state vector).
+        """
         self.pose = self._initial_pose if pose is None else pose
         self._invalidate()
-        return self.observe()
+        return self.observe() if observe else None
 
     def set_pose(self, pose: Pose) -> None:
         """Replace the current pose (used by optimizers)."""
@@ -232,21 +259,52 @@ class MetadockEngine:
 
     def state_dim(self) -> int:
         """Length of the state vector."""
-        n = 3 * self.template.n_atoms + 3 * self.template.n_bonds
+        n = self.dynamic_dim()
         if self.include_receptor_in_state:
             n += self._receptor_flat.size
         return n
 
+    def dynamic_dim(self) -> int:
+        """Length of the dynamic (ligand) tail of the state vector."""
+        return 3 * self.template.n_atoms + 3 * self.template.n_bonds
+
+    def static_state(self) -> np.ndarray:
+        """The constant state prefix (receptor block), float32 read-only.
+
+        Empty when ``include_receptor_in_state`` is off -- the whole
+        state is dynamic then.
+        """
+        return self._static_f32
+
+    def dynamic_state(self) -> np.ndarray:
+        """The dynamic state tail written into a reusable float32 buffer.
+
+        Alternates between two internal buffers so the previous call's
+        result stays valid for exactly one more call (state vs
+        next_state in the trainer loop); copy to hold longer.
+        """
+        lig = self.ligand_coords()
+        buf = self._dyn_bufs[self._dyn_flip]
+        self._dyn_flip ^= 1
+        n = lig.size
+        buf[:n] = lig.reshape(-1)
+        buf[n:] = bond_vector_state(lig, self.template.bonds)
+        return buf
+
     def state_vector(self) -> np.ndarray:
         """The paper's raw state: positions of receptor and ligand atoms
-        plus the ligand's bond vectors, flattened."""
+        plus the ligand's bond vectors, flattened (fresh float64 array,
+        safe to hold -- checkpoints and external consumers use this)."""
         lig = self.ligand_coords()
-        parts = []
+        out = np.empty(self.state_dim(), dtype=np.float64)
+        off = 0
         if self.include_receptor_in_state:
-            parts.append(self._receptor_flat)
-        parts.append(lig.reshape(-1))
-        parts.append(bond_vector_state(lig, self.template.bonds))
-        return np.concatenate(parts)
+            off = self._receptor_flat.size
+            out[:off] = self._receptor_flat
+        n = lig.size
+        out[off : off + n] = lig.reshape(-1)
+        out[off + n :] = bond_vector_state(lig, self.template.bonds)
+        return out
 
     def observe(self) -> EngineObservation:
         """Snapshot of the current state/score/coordinates/pose."""

@@ -30,10 +30,12 @@ class DuelingHead(Layer):
         n_actions: int,
         *,
         rng: SeedLike = None,
+        dtype=np.float64,
     ):
         gen = as_generator(rng)
-        self.value = Dense(in_features, 1, rng=gen)
-        self.advantage = Dense(in_features, n_actions, rng=gen)
+        self.dtype = np.dtype(dtype)
+        self.value = Dense(in_features, 1, rng=gen, dtype=dtype)
+        self.advantage = Dense(in_features, n_actions, rng=gen, dtype=dtype)
         self.n_actions = int(n_actions)
 
     def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
@@ -42,7 +44,7 @@ class DuelingHead(Layer):
         return v + a - a.mean(axis=1, keepdims=True)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        g = np.asarray(grad_out, dtype=float)
+        g = self._cast(grad_out)
         # dQ/dV = 1 for every action -> value grad is the row sum.
         grad_v = g.sum(axis=1, keepdims=True)
         # dQ_a/dA_a' = delta(a,a') - 1/k.
@@ -65,6 +67,7 @@ def DuelingMLP(
     *,
     activation: str = "relu",
     rng: SeedLike = None,
+    dtype=np.float64,
 ) -> MLP:
     """An MLP trunk with a :class:`DuelingHead` output."""
     try:
@@ -75,8 +78,8 @@ def DuelingMLP(
     layers: list[Layer] = []
     prev = input_dim
     for width in hidden_sizes:
-        layers.append(Dense(prev, width, rng=gen))
-        layers.append(act_cls())
+        layers.append(Dense(prev, width, rng=gen, dtype=dtype))
+        layers.append(act_cls(dtype=dtype))
         prev = width
-    layers.append(DuelingHead(prev, n_actions, rng=gen))
+    layers.append(DuelingHead(prev, n_actions, rng=gen, dtype=dtype))
     return MLP(layers)

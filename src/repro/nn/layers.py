@@ -3,6 +3,15 @@
 Each layer caches exactly what its backward pass needs and exposes
 ``params()`` / ``grads()`` as aligned lists of arrays so optimizers can
 update in place without knowing layer internals.
+
+Layers carry an explicit ``dtype`` (default float64, which the
+finite-difference gradient checker needs); the DQN hot path builds
+float32 networks.  :class:`Dense` and :class:`ReLU` reuse preallocated
+forward/backward workspaces keyed by batch-row count, so steady-state
+training allocates no new activation arrays.  **A layer's forward output
+is a view of that workspace and is overwritten by its next forward call
+with the same row count** -- callers that need two outputs of the same
+network alive at once must copy the first.
 """
 
 from __future__ import annotations
@@ -17,6 +26,9 @@ from repro.utils.rng import SeedLike, as_generator
 
 class Layer(ABC):
     """Base layer: forward caches, backward returns input gradient."""
+
+    #: Compute/storage dtype; subclasses override per instance.
+    dtype = np.dtype(np.float64)
 
     @abstractmethod
     def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
@@ -39,6 +51,18 @@ class Layer(ABC):
         for g in self.grads():
             g[...] = 0.0
 
+    def _cast(self, x) -> np.ndarray:
+        """View ``x`` in this layer's dtype (copies only on mismatch)."""
+        return np.asarray(x, dtype=self.dtype)
+
+    @staticmethod
+    def _workspace(cache: dict, rows: int, cols: int, dtype) -> np.ndarray:
+        """Reusable (rows, cols) buffer from ``cache``, keyed by rows."""
+        buf = cache.get(rows)
+        if buf is None:
+            buf = cache[rows] = np.empty((rows, cols), dtype=dtype)
+        return buf
+
 
 class Dense(Layer):
     """Fully connected layer ``y = x @ W + b``."""
@@ -50,6 +74,7 @@ class Dense(Layer):
         *,
         init: str = "he",
         rng: SeedLike = None,
+        dtype=np.float64,
     ):
         if in_features < 1 or out_features < 1:
             raise ValueError("feature counts must be positive")
@@ -58,11 +83,18 @@ class Dense(Layer):
         except KeyError:
             raise ValueError(f"unknown initializer {init!r}") from None
         gen = as_generator(rng)
-        self.w = initializer(in_features, out_features, gen)
-        self.b = np.zeros(out_features)
+        self.dtype = np.dtype(dtype)
+        self.w = np.ascontiguousarray(
+            initializer(in_features, out_features, gen), dtype=self.dtype
+        )
+        self.b = np.zeros(out_features, dtype=self.dtype)
         self.dw = np.zeros_like(self.w)
         self.db = np.zeros_like(self.b)
         self._x: np.ndarray | None = None
+        self._out: dict[int, np.ndarray] = {}
+        self._gin: dict[int, np.ndarray] = {}
+        self._dw_ws = np.empty_like(self.w)
+        self._db_ws = np.empty_like(self.b)
 
     @property
     def in_features(self) -> int:
@@ -75,18 +107,42 @@ class Dense(Layer):
         return self.w.shape[1]
 
     def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        x = self._cast(x)
         if train:
             self._x = x
-        return x @ self.w + self.b
+        if x.ndim != 2:
+            return x @ self.w + self.b
+        out = self._workspace(
+            self._out, x.shape[0], self.out_features, self.dtype
+        )
+        np.matmul(x, self.w, out=out)
+        out += self.b
+        return out
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+    def backward(
+        self, grad_out: np.ndarray, *, need_input_grad: bool = True
+    ) -> np.ndarray | None:
+        """Accumulate parameter grads; propagate ``dL/din``.
+
+        ``need_input_grad=False`` skips the input-gradient matmul and
+        returns ``None`` — for the *first* layer of a network that
+        matmul is pure waste, and at DQN-Docking shape (in_features
+        16,599) it costs as much as the whole forward pass.
+        """
         if self._x is None:
             raise RuntimeError("backward before forward(train=True)")
-        g = np.asarray(grad_out, dtype=float)
-        self.dw += self._x.T @ g
-        self.db += g.sum(axis=0)
-        return g @ self.w.T
+        g = self._cast(grad_out)
+        np.matmul(self._x.T, g, out=self._dw_ws)
+        self.dw += self._dw_ws
+        np.sum(g, axis=0, out=self._db_ws)
+        self.db += self._db_ws
+        if not need_input_grad:
+            return None
+        gin = self._workspace(
+            self._gin, g.shape[0], self.in_features, self.dtype
+        )
+        np.matmul(g, self.w.T, out=gin)
+        return gin
 
     def params(self) -> list[np.ndarray]:
         return [self.w, self.b]
@@ -101,29 +157,49 @@ class Dense(Layer):
 class ReLU(Layer):
     """Rectified linear activation."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, dtype=np.float64) -> None:
+        self.dtype = np.dtype(dtype)
         self._mask: np.ndarray | None = None
+        self._out: dict[int, np.ndarray] = {}
+        self._gin: dict[int, np.ndarray] = {}
+        self._masks: dict[int, np.ndarray] = {}
 
     def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        x = self._cast(x)
+        if x.ndim != 2:
+            if train:
+                self._mask = x > 0
+            return np.maximum(x, 0.0)
+        out = self._workspace(self._out, x.shape[0], x.shape[1], self.dtype)
+        np.maximum(x, 0.0, out=out)
         if train:
-            self._mask = x > 0
-        return np.maximum(x, 0.0)
+            mask = self._workspace(
+                self._masks, x.shape[0], x.shape[1], bool
+            )
+            np.greater(x, 0.0, out=mask)
+            self._mask = mask
+        return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward before forward(train=True)")
-        return np.asarray(grad_out, dtype=float) * self._mask
+        g = self._cast(grad_out)
+        if g.ndim != 2:
+            return g * self._mask
+        gin = self._workspace(self._gin, g.shape[0], g.shape[1], self.dtype)
+        np.multiply(g, self._mask, out=gin)
+        return gin
 
 
 class Tanh(Layer):
     """Hyperbolic-tangent activation."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, dtype=np.float64) -> None:
+        self.dtype = np.dtype(dtype)
         self._y: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
-        y = np.tanh(np.asarray(x, dtype=float))
+        y = np.tanh(self._cast(x))
         if train:
             self._y = y
         return y
@@ -131,17 +207,18 @@ class Tanh(Layer):
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._y is None:
             raise RuntimeError("backward before forward(train=True)")
-        return np.asarray(grad_out, dtype=float) * (1.0 - self._y**2)
+        return self._cast(grad_out) * (1.0 - self._y**2)
 
 
 class Sigmoid(Layer):
     """Logistic activation."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, dtype=np.float64) -> None:
+        self.dtype = np.dtype(dtype)
         self._y: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        x = self._cast(x)
         # Branch on sign so the exponential argument is always <= 0
         # (np.where would still evaluate the overflowing branch).
         y = np.empty_like(x)
@@ -156,17 +233,20 @@ class Sigmoid(Layer):
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._y is None:
             raise RuntimeError("backward before forward(train=True)")
-        return np.asarray(grad_out, dtype=float) * self._y * (1.0 - self._y)
+        return self._cast(grad_out) * self._y * (1.0 - self._y)
 
 
 class Identity(Layer):
     """Pass-through activation (linear output heads)."""
 
+    def __init__(self, *, dtype=np.float64) -> None:
+        self.dtype = np.dtype(dtype)
+
     def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
-        return np.asarray(x, dtype=float)
+        return self._cast(x)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        return np.asarray(grad_out, dtype=float)
+        return self._cast(grad_out)
 
 
 ACTIVATIONS = {

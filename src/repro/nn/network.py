@@ -19,8 +19,14 @@ class MLP:
         self.layers = list(layers)
 
     def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
-        """Run the stack; 1-D inputs are treated as a single sample."""
-        h = np.asarray(x, dtype=float)
+        """Run the stack; 1-D inputs are treated as a single sample.
+
+        Layers own their compute dtype and output workspaces (see
+        :mod:`repro.nn.layers`): the result may be a view of a reused
+        buffer that the next forward call of the same batch size
+        overwrites.
+        """
+        h = np.asarray(x)
         squeeze = h.ndim == 1
         if squeeze:
             h = h[None, :]
@@ -34,12 +40,26 @@ class MLP:
 
     __call__ = predict
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        """Backpropagate from the output gradient; returns input gradient."""
-        g = np.asarray(grad_out, dtype=float)
+    def backward(
+        self, grad_out: np.ndarray, *, need_input_grad: bool = True
+    ) -> np.ndarray | None:
+        """Backpropagate from the output gradient; returns input gradient.
+
+        ``need_input_grad=False`` lets a :class:`Dense` first layer skip
+        its input-gradient matmul (and returns ``None``) — the learner's
+        hot path, where nothing sits below the network.
+        """
+        g = np.asarray(grad_out)
         if g.ndim == 1:
             g = g[None, :]
+        first = self.layers[0]
         for layer in reversed(self.layers):
+            if (
+                layer is first
+                and not need_input_grad
+                and isinstance(layer, Dense)
+            ):
+                return layer.backward(g, need_input_grad=False)
             g = layer.backward(g)
         return g
 
@@ -92,11 +112,17 @@ def build_mlp(
     *,
     activation: str = "relu",
     rng: SeedLike = None,
+    dtype=np.float64,
 ) -> MLP:
     """The paper's architecture: Dense->act per hidden layer, linear head.
 
     Table 1 settings correspond to ``hidden_sizes=(135, 135)``,
-    ``activation="relu"``, ``output_dim=12``.
+    ``activation="relu"``, ``output_dim=12``.  ``dtype`` selects the
+    compute precision of every layer; the DQN agent builds float32
+    networks (the library default stays float64 so finite-difference
+    gradient checks remain valid).  Weights are initialized in float64
+    and then cast, so a float32 network starts from the same draws as
+    its float64 twin under the same seed.
     """
     try:
         act_cls = ACTIVATIONS[activation]
@@ -107,8 +133,8 @@ def build_mlp(
     layers: list[Layer] = []
     prev = input_dim
     for width in hidden_sizes:
-        layers.append(Dense(prev, width, init=init, rng=gen))
-        layers.append(act_cls())
+        layers.append(Dense(prev, width, init=init, rng=gen, dtype=dtype))
+        layers.append(act_cls(dtype=dtype))
         prev = width
-    layers.append(Dense(prev, output_dim, init=init, rng=gen))
+    layers.append(Dense(prev, output_dim, init=init, rng=gen, dtype=dtype))
     return MLP(layers)

@@ -33,11 +33,16 @@ class Optimizer(ABC):
         self.lr = float(lr)
         self.max_grad_norm = max_grad_norm
         self.steps = 0
+        #: One scratch array per parameter, reused every step so the
+        #: update rules run without allocating temporaries.
+        self._ws = [np.empty_like(p) for p in params]
 
     def _clip(self) -> None:
         if self.max_grad_norm is None:
             return
-        total = np.sqrt(sum(float((g**2).sum()) for g in self.grads))
+        total = np.sqrt(
+            sum(float(np.dot(g.reshape(-1), g.reshape(-1))) for g in self.grads)
+        )
         if total > self.max_grad_norm and total > 0:
             scale = self.max_grad_norm / total
             for g in self.grads:
@@ -65,13 +70,16 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p) for p in params]
 
     def _apply(self) -> None:
-        for p, g, v in zip(self.params, self.grads, self._velocity):
+        for p, g, v, ws in zip(
+            self.params, self.grads, self._velocity, self._ws
+        ):
+            np.multiply(g, self.lr, out=ws)
             if self.momentum:
                 v *= self.momentum
-                v -= self.lr * g
+                v -= ws
                 p += v
             else:
-                p -= self.lr * g
+                p -= ws
 
 
 class RMSprop(Optimizer):
@@ -94,10 +102,16 @@ class RMSprop(Optimizer):
         self._sq = [np.zeros_like(p) for p in params]
 
     def _apply(self) -> None:
-        for p, g, s in zip(self.params, self.grads, self._sq):
+        for p, g, s, ws in zip(self.params, self.grads, self._sq, self._ws):
+            np.multiply(g, g, out=ws)
             s *= self.rho
-            s += (1.0 - self.rho) * g * g
-            p -= self.lr * g / (np.sqrt(s) + self.eps)
+            ws *= 1.0 - self.rho
+            s += ws
+            np.sqrt(s, out=ws)
+            ws += self.eps
+            np.divide(g, ws, out=ws)
+            ws *= self.lr
+            p -= ws
 
 
 class Adam(Optimizer):
@@ -124,12 +138,23 @@ class Adam(Optimizer):
         t = self.steps
         bc1 = 1.0 - self.beta1**t
         bc2 = 1.0 - self.beta2**t
-        for p, g, m, v in zip(self.params, self.grads, self._m, self._v):
+        for p, g, m, v, ws in zip(
+            self.params, self.grads, self._m, self._v, self._ws
+        ):
+            np.multiply(g, 1.0 - self.beta1, out=ws)
             m *= self.beta1
-            m += (1.0 - self.beta1) * g
+            m += ws
+            np.multiply(g, g, out=ws)
+            ws *= 1.0 - self.beta2
             v *= self.beta2
-            v += (1.0 - self.beta2) * g * g
-            p -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+            v += ws
+            np.divide(v, bc2, out=ws)
+            np.sqrt(ws, out=ws)
+            ws += self.eps
+            # Same-shape elementwise ufuncs tolerate out aliasing an input.
+            np.divide(m, ws, out=ws)
+            ws *= self.lr / bc1
+            p -= ws
 
 
 def make_optimizer(

@@ -66,6 +66,11 @@ class AgentConfig:
     #: step and explicit syncs become no-ops by default.
     target_update_tau: float | None = None
     max_grad_norm: float | None = 10.0
+    #: Network compute precision.  float32 halves matmul bandwidth on
+    #: the paper's 16,599-wide input layer with no measurable effect on
+    #: docking behaviour (see docs/PERFORMANCE.md for the drift bound);
+    #: NoisyNet layers always run in float64.
+    dtype: str = "float32"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -75,6 +80,8 @@ class AgentConfig:
             0.0 < self.target_update_tau <= 1.0
         ):
             raise ValueError("target_update_tau must lie in (0, 1]")
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError("dtype must be 'float32' or 'float64'")
 
     @staticmethod
     def from_run_config(
@@ -123,9 +130,22 @@ class DQNAgent:
     :func:`repro.nn.conv.build_cnn` for image states); it must accept
     flat ``config.state_dim`` inputs and emit ``config.n_actions``
     values.
+
+    ``static_state`` enables compact-state mode: it is the constant
+    leading block of every state (the docking receptor).  The replay
+    then stores only dynamic tails (see :mod:`repro.rl.replay`), and
+    ``act`` / ``predict_q`` / ``remember`` accept either full states or
+    bare tails of ``state_dim - len(static_state)`` floats, which is
+    what a compact :class:`~repro.env.docking_env.DockingEnv` emits.
     """
 
-    def __init__(self, config: AgentConfig, *, network: MLP | None = None):
+    def __init__(
+        self,
+        config: AgentConfig,
+        *,
+        network: MLP | None = None,
+        static_state: np.ndarray | None = None,
+    ):
         self.config = config
         rngs = RngFactory(config.seed)
         net_rng = rngs.get("network")
@@ -133,6 +153,10 @@ class DQNAgent:
             raise ValueError(
                 "noisy + dueling is not supported; pick one head type"
             )
+        # NoisyDense has no float32 path; keep noisy agents in float64.
+        self.dtype = np.dtype(
+            np.float64 if config.noisy else config.dtype
+        )
         if network is not None:
             self.q_net = network
         elif config.noisy:
@@ -151,6 +175,7 @@ class DQNAgent:
                 config.n_actions,
                 activation=config.activation,
                 rng=net_rng,
+                dtype=self.dtype,
             )
         else:
             self.q_net = build_mlp(
@@ -159,6 +184,7 @@ class DQNAgent:
                 config.n_actions,
                 activation=config.activation,
                 rng=net_rng,
+                dtype=self.dtype,
             )
         self.target_net = self.q_net.clone()
         self.optimizer = make_optimizer(
@@ -169,17 +195,37 @@ class DQNAgent:
             max_grad_norm=config.max_grad_norm,
         )
         self.loss_fn = make_loss(config.loss)
+        if static_state is not None:
+            self._static = np.ascontiguousarray(
+                static_state, dtype=self.dtype
+            )
+            self._static.flags.writeable = False
+            if self._static.shape[0] >= config.state_dim:
+                raise ValueError(
+                    "static_state must be shorter than state_dim"
+                )
+            self._tail_dim = config.state_dim - self._static.shape[0]
+            # Full-state reconstruction buffer for single-state acting;
+            # batched buffers (vector trainer) allocate lazily per size.
+            self._act_full = np.empty(config.state_dim, dtype=self.dtype)
+            self._act_full[: self._static.shape[0]] = self._static
+            self._full_bufs: dict[int, np.ndarray] = {}
+        else:
+            self._static = None
+            self._tail_dim = config.state_dim
         if config.prioritized:
             self.replay: ReplayMemory = PrioritizedReplayMemory(
                 config.replay_capacity,
                 config.state_dim,
                 seed=rngs.get("replay"),
+                static_prefix=self._static,
             )
         else:
             self.replay = ReplayMemory(
                 config.replay_capacity,
                 config.state_dim,
                 seed=rngs.get("replay"),
+                static_prefix=self._static,
             )
         if config.noisy:
             # NoisyNet replaces epsilon-greedy: exploration comes from
@@ -213,6 +259,11 @@ class DQNAgent:
             self._nstep = None
         self.learn_steps = 0
         self.target_syncs = 0
+        # Reused across learn steps instead of np.zeros_like per step.
+        self._grad_out = np.zeros(
+            (config.minibatch_size, config.n_actions), dtype=self.dtype
+        )
+        self._arange = np.arange(config.minibatch_size)
         #: Optional :class:`repro.telemetry.spans.SpanTracer`; when set,
         #: the forward pass and the learn internals record spans
         #: ("q-forward", "replay-sample", "grad-step") under whatever
@@ -221,9 +272,46 @@ class DQNAgent:
         self.tracer = None
 
     # -- acting ----------------------------------------------------------
+    @property
+    def static_state(self) -> np.ndarray | None:
+        """Constant state prefix in compact mode (None otherwise)."""
+        return self._static
+
+    def _expand_states(self, x: np.ndarray) -> np.ndarray:
+        """Reconstruct full states from dynamic tails (compact mode).
+
+        Returns a reused buffer whose static prefix is pre-filled; it is
+        overwritten by the next call with the same leading shape.
+        """
+        p = self._static.shape[0]
+        if x.ndim == 1:
+            self._act_full[p:] = x
+            return self._act_full
+        buf = self._full_bufs.get(x.shape[0])
+        if buf is None:
+            buf = np.empty(
+                (x.shape[0], self.config.state_dim), dtype=self.dtype
+            )
+            buf[:, :p] = self._static
+            self._full_bufs[x.shape[0]] = buf
+        buf[:, p:] = x
+        return buf
+
     def predict_q(self, state: np.ndarray) -> np.ndarray:
-        """Q-values of one state from the online network."""
-        return self.q_net.predict(np.asarray(state, dtype=float))
+        """Q-values from the online network.
+
+        Accepts a single state or a (n, dim) batch; in compact mode,
+        bare dynamic tails are reconstructed against the static prefix
+        before the forward pass.
+        """
+        x = np.asarray(state)
+        if (
+            self._static is not None
+            and x.shape[-1] == self._tail_dim
+            and self._tail_dim != self.config.state_dim
+        ):
+            x = self._expand_states(x)
+        return self.q_net.predict(x)
 
     def act(self, state: np.ndarray, global_step: int) -> tuple[int, np.ndarray]:
         """Epsilon-greedy (or noisy) action; returns (action, q_values).
@@ -268,6 +356,11 @@ class DQNAgent:
                 discount=self.config.gamma,
             )
             return
+        if self._static is not None:
+            # The n-step window holds states across several env steps; a
+            # compact env reuses its tail buffers, so snapshot them.
+            state = np.array(state, dtype=self.dtype)
+            next_state = np.array(next_state, dtype=self.dtype)
         for t in self._nstep.push(state, action, reward, next_state, terminal):
             self.replay.push(
                 t.state, t.action, t.reward, t.next_state, t.terminal,
@@ -305,12 +398,13 @@ class DQNAgent:
         with sp("replay-sample"):
             batch = self.replay.sample(cfg.minibatch_size)
         b = len(batch)
+        rows = self._arange if b == self._arange.shape[0] else np.arange(b)
 
         q_next_target = self.target_net.predict(batch.next_states)  # (b, k)
         if cfg.double:
             q_next_online = self.q_net.predict(batch.next_states)
             best_actions = np.argmax(q_next_online, axis=1)
-            next_values = q_next_target[np.arange(b), best_actions]
+            next_values = q_next_target[rows, best_actions]
         else:
             next_values = q_next_target.max(axis=1)
         # Per-transition bootstrap discount: gamma for 1-step pushes,
@@ -322,14 +416,21 @@ class DQNAgent:
         with sp("grad-step"):
             self.q_net.zero_grad()
             preds = self.q_net.forward(batch.states, train=True)  # (b, k)
-            pred_chosen = preds[np.arange(b), batch.actions]
+            pred_chosen = preds[rows, batch.actions]
             td_errors = pred_chosen - targets
             loss_value, grad_chosen = self.loss_fn(
                 pred_chosen, targets, weights=batch.weights
             )
-            grad_out = np.zeros_like(preds)
-            grad_out[np.arange(b), batch.actions] = grad_chosen
-            self.q_net.backward(grad_out)
+            if b == self._grad_out.shape[0]:
+                grad_out = self._grad_out
+                grad_out.fill(0.0)
+            else:
+                grad_out = np.zeros((b, preds.shape[1]), dtype=self.dtype)
+            grad_out[rows, batch.actions] = grad_chosen
+            # Nothing sits below the network: skip the first layer's
+            # input-grad matmul (at state_dim 16,599 it matches the
+            # cost of the whole forward pass).
+            self.q_net.backward(grad_out, need_input_grad=False)
             self.optimizer.step()
         self.learn_steps += 1
 

@@ -201,7 +201,9 @@ class DistributionalDQNAgent:
         # d(cross-entropy)/d(logits of chosen action) = p - m.
         grad_logits = np.zeros_like(logits)
         grad_logits[np.arange(b), batch.actions] = (chosen - m) / b
-        self.q_net.backward(grad_logits.reshape(b, -1))
+        self.q_net.backward(
+            grad_logits.reshape(b, -1), need_input_grad=False
+        )
         self.optimizer.step()
         self.learn_steps += 1
 

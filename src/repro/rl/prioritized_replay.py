@@ -83,8 +83,15 @@ class PrioritizedReplayMemory(ReplayMemory):
         priority_eps: float = 1e-3,
         seed: SeedLike = None,
         dtype=np.float32,
+        static_prefix=None,
     ):
-        super().__init__(capacity, state_dim, seed=seed, dtype=dtype)
+        super().__init__(
+            capacity,
+            state_dim,
+            seed=seed,
+            dtype=dtype,
+            static_prefix=static_prefix,
+        )
         if not 0.0 <= alpha <= 1.0:
             raise ValueError("alpha must lie in [0, 1]")
         self.alpha = alpha
@@ -127,16 +134,10 @@ class PrioritizedReplayMemory(ReplayMemory):
         self._samples_drawn += batch_size
         weights = (len(self) * np.maximum(probs, 1e-12)) ** (-beta)
         weights /= weights.max()
-        return Batch(
-            states=self._states[idx].astype(np.float64),
-            actions=self._actions[idx].copy(),
-            rewards=self._rewards[idx].copy(),
-            next_states=self._next_states[idx].astype(np.float64),
-            terminals=self._terminals[idx].copy(),
-            indices=idx,
-            weights=weights,
-            discounts=self._discounts[idx].copy(),
-        )
+        # Reconstruction into the shared preallocated batch buffers is
+        # identical to the uniform path; only index choice and weights
+        # differ.
+        return self._gather(idx, weights=weights)
 
     def update_priorities(
         self, indices: np.ndarray, td_errors: np.ndarray

@@ -72,7 +72,9 @@ class VectorTrainer:
         self, states: np.ndarray, global_step: int
     ) -> np.ndarray:
         """Batched epsilon-greedy: one forward for all N states."""
-        q = self.agent.q_net.predict(states)  # (n, actions)
+        # predict_q (not q_net.predict): expands compact dynamic tails
+        # back to full states when the agent runs in compact mode.
+        q = self.agent.predict_q(states)  # (n, actions)
         greedy = np.argmax(q, axis=1)
         policy = self.agent.policy
         eps = policy.epsilon(global_step)

@@ -150,8 +150,12 @@ class TelemetryCallback(TrainerCallback):
 
     def __init__(self, run: TelemetryRun) -> None:
         self.run = run
+        self._agent: Any = None
 
     def on_train_start(self, trainer: Any = None) -> None:
+        # Remember the agent (when the trainer hands itself over) so
+        # episode ends can snapshot its replay footprint.
+        self._agent = getattr(trainer, "agent", None)
         self.run.emit("train_start")
 
     def on_episode_start(self, episode: int) -> None:
@@ -202,6 +206,11 @@ class TelemetryCallback(TrainerCallback):
             gauge = reg.gauge("best_score")
             if gauge.value != gauge.value or best > gauge.value:
                 gauge.set(best)
+        replay = getattr(self._agent, "replay", None)
+        nbytes = getattr(replay, "nbytes", None)
+        if callable(nbytes):
+            reg.set("replay_bytes", float(nbytes()))
+            reg.set("replay_size", float(len(replay)))
         # Keep the event log durable at episode granularity.
         self.run.flush()
 

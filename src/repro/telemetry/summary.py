@@ -8,6 +8,7 @@ archived run directory is inspectable forever.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Union
@@ -182,6 +183,37 @@ def _metrics_section(record: RunRecord) -> str:
     )
 
 
+#: Benchmark artifacts rendered by ``repro inspect`` when dropped into
+#: the run directory (each is a flat JSON object of named numbers).
+BENCH_ARTIFACTS = ("BENCH_train_step.json", "BENCH_vector_env.json")
+
+
+def _bench_section(record: RunRecord) -> str:
+    """Render any benchmark artifacts living next to the run files."""
+    sections = []
+    for name in BENCH_ARTIFACTS:
+        path = record.path / name
+        if not path.exists():
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            sections.append(f"({name}: unreadable)")
+            continue
+        rows = [
+            (key, _fmt(value, ",.6g") if isinstance(value, float)
+             else f"{value:,}" if isinstance(value, int) else str(value))
+            for key, value in payload.items()
+        ]
+        sections.append(
+            render_table(
+                ["measurement", "value"], rows, title=name,
+                align=["l", "r"],
+            )
+        )
+    return "\n\n".join(sections)
+
+
 def render_summary(run_dir: PathLike) -> str:
     """The full ``repro inspect`` report for one run directory."""
     record = load_run(run_dir)
@@ -207,4 +239,7 @@ def render_summary(run_dir: PathLike) -> str:
         _span_section(record),
         _metrics_section(record),
     ]
+    bench = _bench_section(record)
+    if bench:
+        sections.append(bench)
     return "\n\n".join(sections)

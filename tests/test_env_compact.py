@@ -1,0 +1,292 @@
+"""Compact-state emission end-to-end: engine -> env -> vector -> agent.
+
+The compact hot loop (engine ``dynamic_state`` double-buffering,
+``DockingEnv(compact_states=True)``, float32 shared-memory vector
+blocks, and the compact agent wiring in the experiment drivers) must
+produce exactly the trajectories of the classic dense float64 pipeline
+-- the receptor block it factors out is constant, and every cast
+involved is the same float64->float32 rounding.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.config import DQNDockingConfig, ci_scale_config
+from repro.env.docking_env import DockingEnv, make_env
+from repro.env.factory import make_vector_env
+from repro.env.flexible_env import FlexibleDockingEnv
+from repro.experiments.figure4 import (
+    build_agent,
+    build_agent_for_env,
+    run_figure4_experiment,
+)
+from repro.metadock.engine import MetadockEngine
+
+
+@pytest.fixture()
+def compact_env(small_complex):
+    engine = MetadockEngine(
+        small_complex, shift_length=0.8, rotation_angle_deg=5.0
+    )
+    return DockingEnv(engine, compact_states=True)
+
+
+class TestEngineEmission:
+    def test_dynamic_state_matches_state_vector_tail(self, engine):
+        engine.reset(observe=False)
+        full = engine.state_vector()
+        tail = engine.dynamic_state()
+        assert tail.dtype == np.float32
+        p = engine.static_state().shape[0]
+        np.testing.assert_array_equal(
+            tail, full[p:].astype(np.float32)
+        )
+        np.testing.assert_array_equal(
+            engine.static_state(), full[:p].astype(np.float32)
+        )
+
+    def test_static_state_is_read_only(self, engine):
+        with pytest.raises(ValueError):
+            engine.static_state()[0] = 1.0
+
+    def test_double_buffering_holds_one_step(self, engine):
+        engine.reset(observe=False)
+        t0 = engine.dynamic_state()
+        engine.apply_action(0)
+        t1 = engine.dynamic_state()
+        # Two distinct buffers: t0 still valid alongside t1...
+        assert t0 is not t1
+        held0, held1 = t0.copy(), t1.copy()
+        engine.apply_action(0)
+        t2 = engine.dynamic_state()
+        # ...but the third emission recycles the first buffer.
+        assert t2 is t0
+        np.testing.assert_array_equal(t1, held1)
+        assert not np.array_equal(t0, held0)
+
+
+class TestCompactEnv:
+    def test_emits_float32_tails(self, compact_env):
+        state = compact_env.reset()
+        assert state.dtype == np.float32
+        assert state.shape == (compact_env.engine.dynamic_dim(),)
+        assert compact_env.state_dtype == np.float32
+        assert (
+            compact_env.full_state_dim
+            == compact_env.engine.state_dim()
+        )
+        assert compact_env.static_state() is not None
+
+    def test_dense_env_contract_unchanged(self, env):
+        state = env.reset()
+        assert state.dtype == np.float64
+        assert env.state_dtype == np.float64
+        assert env.static_state() is None
+        assert env.full_state_dim == env.state_dim
+
+    def test_full_state_is_prefix_plus_tail(self, compact_env):
+        tail = compact_env.reset()
+        full = compact_env.full_state()
+        p = compact_env.static_state().shape[0]
+        np.testing.assert_array_equal(
+            full[p:].astype(np.float32), tail
+        )
+
+    def test_same_trajectory_as_dense(self, small_complex):
+        def envs():
+            dense = DockingEnv(
+                MetadockEngine(
+                    small_complex, shift_length=0.8,
+                    rotation_angle_deg=5.0,
+                )
+            )
+            compact = DockingEnv(
+                MetadockEngine(
+                    small_complex, shift_length=0.8,
+                    rotation_angle_deg=5.0,
+                ),
+                compact_states=True,
+            )
+            return dense, compact
+
+        dense, compact = envs()
+        sd = dense.reset()
+        sc = compact.reset()
+        p = compact.static_state().shape[0]
+        np.testing.assert_array_equal(
+            sd[p:].astype(np.float32), sc
+        )
+        for action in [0, 2, 5, 1, 1, 3]:
+            sd, rd, dd, infod = dense.step(action)
+            sc, rc, dc, infoc = compact.step(action)
+            assert rd == rc and dd == dc
+            assert infod["score"] == infoc["score"]
+            np.testing.assert_array_equal(
+                sd[p:].astype(np.float32), sc
+            )
+
+    def test_flexible_env_compact(self, small_complex):
+        env = FlexibleDockingEnv(
+            small_complex, n_torsions=2, compact_states=True
+        )
+        state = env.reset()
+        assert state.dtype == np.float32
+        assert env.n_actions == 12 + 2 * 2
+
+
+class TestConfigGating:
+    def test_distributional_compact_rejected(self):
+        with pytest.raises(ValueError, match="compact_states"):
+            DQNDockingConfig(
+                variant="distributional", compact_states=True
+            )
+
+    def test_build_agent_rejects_distributional_static(self):
+        cfg = ci_scale_config(episodes=2)
+        cfg = cfg.replace(variant="distributional")
+        with pytest.raises(ValueError, match="distributional"):
+            build_agent(
+                cfg, 60, 12,
+                static_state=np.zeros(30, dtype=np.float32),
+            )
+
+    def test_factory_rejects_multi_complex_compact(self, small_complex):
+        from repro.chem.builders import build_complex
+        from tests.conftest import SMALL_COMPLEX_CFG
+        import dataclasses
+
+        other = build_complex(
+            dataclasses.replace(SMALL_COMPLEX_CFG, seed=77)
+        )
+        cfg = ci_scale_config(episodes=2, compact_states=True)
+        with pytest.raises(ValueError, match="single shared complex"):
+            make_vector_env(
+                cfg, builts=[small_complex, other], n_envs=2
+            )
+
+    def test_factory_allows_shared_complex_compact(self, small_complex):
+        cfg = ci_scale_config(episodes=2, compact_states=True)
+        venv = make_vector_env(cfg, builts=[small_complex] * 2, n_envs=2)
+        try:
+            assert venv.state_dtype == np.float32
+        finally:
+            venv.close()
+
+
+class TestVectorBackends:
+    def test_sync_carries_float32(self, small_complex):
+        cfg = ci_scale_config(episodes=2, compact_states=True)
+        venv = make_vector_env(cfg, builts=[small_complex] * 2, n_envs=2)
+        try:
+            states = venv.reset()
+            assert states.dtype == np.float32
+            ns, rewards, dones, infos = venv.step([0, 1])
+            assert ns.dtype == np.float32
+        finally:
+            venv.close()
+
+    def test_sync_terminal_state_is_snapshot(self, small_complex):
+        # Drive one env to termination; the surfaced terminal_state must
+        # be a private copy, not the engine's reused emission buffer.
+        cfg = ci_scale_config(episodes=2, compact_states=True)
+        venv = make_vector_env(cfg, builts=[small_complex], n_envs=1)
+        try:
+            venv.reset()
+            for _ in range(400):
+                states, _, dones, infos = venv.step([0])
+                if dones[0]:
+                    term = infos[0]["terminal_state"]
+                    env = venv.envs[0]
+                    assert term is not env.engine._dyn_bufs[0]
+                    assert term is not env.engine._dyn_bufs[1]
+                    held = term.copy()
+                    venv.step([1])
+                    np.testing.assert_array_equal(term, held)
+                    break
+            else:
+                pytest.skip("episode never terminated in 400 steps")
+        finally:
+            venv.close()
+
+    def test_async_matches_sync_compact(self, small_complex):
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("async backend needs fork")
+        cfg = ci_scale_config(episodes=2, compact_states=True)
+        actions = [[a % 12, (a + 3) % 12] for a in range(25)]
+        streams = []
+        for backend in ("sync", "async"):
+            venv = make_vector_env(
+                cfg, builts=[small_complex] * 2, n_envs=2,
+                backend=backend,
+            )
+            try:
+                assert venv.state_dtype == np.float32
+                states = [venv.reset()]
+                rewards, dones = [], []
+                for a in actions:
+                    s, r, d, _ = venv.step(a)
+                    states.append(s.copy())
+                    rewards.append(r.copy())
+                    dones.append(d.copy())
+            finally:
+                venv.close()
+            streams.append((states, rewards, dones))
+        (s1, r1, d1), (s2, r2, d2) = streams
+        np.testing.assert_array_equal(np.asarray(s1), np.asarray(s2))
+        np.testing.assert_array_equal(np.asarray(r1), np.asarray(r2))
+        np.testing.assert_array_equal(np.asarray(d1), np.asarray(d2))
+
+
+class TestEndToEnd:
+    def test_figure4_compact_equals_dense(self):
+        # The tentpole invariant: compact emission + compact replay +
+        # float32 nets produce the *identical* training run (both modes
+        # feed the nets the same float32 bits under the same seeds).
+        dense_cfg = ci_scale_config(episodes=4, seed=3, max_steps=20)
+        compact_cfg = dense_cfg.replace(compact_states=True)
+        dense = run_figure4_experiment(dense_cfg)
+        compact = run_figure4_experiment(compact_cfg)
+        assert compact.agent.static_state is not None
+        assert compact.agent.replay.is_compact
+        assert (
+            dense.history.total_steps == compact.history.total_steps
+        )
+        np.testing.assert_array_equal(dense.series, compact.series)
+        assert dense.history.best_score == compact.history.best_score
+
+    def test_build_agent_for_env_compact(self, compact_env):
+        cfg = ci_scale_config(episodes=2, compact_states=True)
+        agent = build_agent_for_env(cfg, compact_env)
+        assert agent.config.state_dim == compact_env.full_state_dim
+        assert agent.replay.is_compact
+        tail = compact_env.reset()
+        action, q = agent.act(tail, 0)
+        assert q.shape[-1] == compact_env.n_actions
+        assert 0 <= action < compact_env.n_actions
+
+    def test_vector_trainer_compact(self, small_complex):
+        from repro.rl.vector_trainer import VectorTrainer
+
+        cfg = ci_scale_config(
+            episodes=2, compact_states=True, max_steps=10
+        )
+        venv = make_vector_env(cfg, builts=[small_complex] * 2, n_envs=2)
+        try:
+            agent = build_agent(
+                cfg,
+                venv.envs[0].full_state_dim,
+                venv.n_actions,
+                static_state=venv.envs[0].static_state(),
+            )
+            stats = VectorTrainer(
+                venv, agent,
+                learning_start=8, target_update_steps=20,
+            ).run(40)
+            assert stats.total_steps >= 40
+            assert len(agent.replay) > 0
+        finally:
+            venv.close()

@@ -1,0 +1,209 @@
+"""Float32 NN path: seeded equivalence against float64 and drift bounds.
+
+The float32 hot loop must be numerically *faithful*, not just fast:
+
+- weights are drawn in float64 then cast, so an f32 and an f64 network
+  built from the same seed start from the same draws;
+- a single forward/backward matches float64 to float32 resolution;
+- over hundreds of learn steps on the same transition stream the Q
+  predictions drift, but the drift stays within the bound documented in
+  docs/PERFORMANCE.md (relative scale ~1e-3).
+
+Also pins the workspace-reuse contract of the rewritten layers: outputs
+are views of per-batch-size buffers, overwritten by the next same-shape
+forward of the same network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.dueling import DuelingMLP
+from repro.nn.network import build_mlp
+from repro.rl.agent import AgentConfig, DQNAgent
+
+STATE_DIM = 30
+N_ACTIONS = 4
+
+#: Documented drift bound (docs/PERFORMANCE.md): after 500 learn steps
+#: on identical streams, max |Q32 - Q64| / max(1, |Q64|) stays below
+#: this.  Empirically ~1e-4 at test scale; the bound leaves headroom.
+DRIFT_BOUND = 5e-3
+
+
+def _nets(dtype):
+    return build_mlp(
+        STATE_DIM, (16, 16), N_ACTIONS,
+        rng=np.random.default_rng(3), dtype=dtype,
+    )
+
+
+class TestSeededEquivalence:
+    def test_same_seed_same_initial_weights(self):
+        n32, n64 = _nets(np.float32), _nets(np.float64)
+        for p32, p64 in zip(n32.params(), n64.params()):
+            assert p32.dtype == np.float32
+            assert p64.dtype == np.float64
+            # f32 weights are exact casts of the same f64 draws.
+            np.testing.assert_array_equal(
+                p32, p64.astype(np.float32)
+            )
+
+    def test_single_forward_matches(self):
+        n32, n64 = _nets(np.float32), _nets(np.float64)
+        x = np.random.default_rng(4).standard_normal((8, STATE_DIM))
+        y32 = n32.predict(x)
+        y64 = n64.predict(x)
+        assert y32.dtype == np.float32
+        assert y64.dtype == np.float64
+        np.testing.assert_allclose(y32, y64, rtol=1e-5, atol=1e-5)
+
+    def test_single_backward_matches(self):
+        n32, n64 = _nets(np.float32), _nets(np.float64)
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((8, STATE_DIM))
+        g = rng.standard_normal((8, N_ACTIONS))
+        for net in (n32, n64):
+            net.zero_grad()
+            net.forward(x, train=True)
+            net.backward(g)
+        for g32, g64 in zip(n32.grads(), n64.grads()):
+            np.testing.assert_allclose(g32, g64, rtol=1e-4, atol=1e-5)
+
+    def test_dueling_same_seed_same_weights(self):
+        d32 = DuelingMLP(
+            STATE_DIM, (16,), N_ACTIONS,
+            rng=np.random.default_rng(6), dtype=np.float32,
+        )
+        d64 = DuelingMLP(
+            STATE_DIM, (16,), N_ACTIONS,
+            rng=np.random.default_rng(6), dtype=np.float64,
+        )
+        for p32, p64 in zip(d32.params(), d64.params()):
+            np.testing.assert_array_equal(p32, p64.astype(np.float32))
+
+
+class TestSkipInputGrad:
+    def test_param_grads_identical_and_returns_none(self):
+        # The learner's backward skips the first layer's input-grad
+        # matmul; parameter gradients must be untouched by the skip.
+        rng = np.random.default_rng(11)
+        x = rng.standard_normal((8, STATE_DIM))
+        g = rng.standard_normal((8, N_ACTIONS))
+        full, skip = _nets(np.float32), _nets(np.float32)
+        for net in (full, skip):
+            net.zero_grad()
+            net.forward(x, train=True)
+        gin = full.backward(g)
+        assert gin is not None and gin.shape == (8, STATE_DIM)
+        assert skip.backward(g, need_input_grad=False) is None
+        for gf, gs in zip(full.grads(), skip.grads()):
+            np.testing.assert_array_equal(gf, gs)
+
+    def test_dueling_skip_matches_full(self):
+        rng = np.random.default_rng(12)
+        x = rng.standard_normal((4, STATE_DIM))
+        g = rng.standard_normal((4, N_ACTIONS))
+        nets = [
+            DuelingMLP(
+                STATE_DIM, (16,), N_ACTIONS,
+                rng=np.random.default_rng(2), dtype=np.float32,
+            )
+            for _ in range(2)
+        ]
+        for net in nets:
+            net.zero_grad()
+            net.forward(x, train=True)
+        nets[0].backward(g)
+        assert nets[1].backward(g, need_input_grad=False) is None
+        for gf, gs in zip(nets[0].grads(), nets[1].grads()):
+            np.testing.assert_array_equal(gf, gs)
+
+
+class TestWorkspaceContract:
+    def test_forward_reuses_buffer_per_batch_size(self):
+        net = _nets(np.float32)
+        x = np.random.default_rng(7).standard_normal((8, STATE_DIM))
+        out1 = net.predict(x)
+        out2 = net.predict(x)
+        # Same buffer object, stable values for identical input.
+        assert out1 is out2
+        held = out1.copy()
+        np.testing.assert_array_equal(net.predict(x), held)
+
+    def test_different_batch_sizes_use_distinct_buffers(self):
+        net = _nets(np.float32)
+        rng = np.random.default_rng(8)
+        a = net.predict(rng.standard_normal((4, STATE_DIM)))
+        b = net.predict(rng.standard_normal((6, STATE_DIM)))
+        assert a.shape[0] == 4 and b.shape[0] == 6
+        assert a is not b
+
+    def test_second_forward_overwrites_first_view(self):
+        # The documented hazard: holding an output across a same-shape
+        # forward of the same network sees the new values.
+        net = _nets(np.float32)
+        rng = np.random.default_rng(9)
+        x1 = rng.standard_normal((4, STATE_DIM))
+        x2 = rng.standard_normal((4, STATE_DIM))
+        out = net.predict(x1)
+        expected_second = net.predict(x2).copy()
+        out_again = net.predict(x2)
+        np.testing.assert_array_equal(out, out_again)
+        np.testing.assert_array_equal(out, expected_second)
+
+
+def _stream_agent(dtype_str, steps=520):
+    """Train an agent on a fixed synthetic stream; return it."""
+    cfg = AgentConfig(
+        state_dim=STATE_DIM,
+        n_actions=N_ACTIONS,
+        hidden_sizes=(16, 16),
+        minibatch_size=8,
+        replay_capacity=256,
+        learning_rate=1e-3,
+        dtype=dtype_str,
+        seed=13,
+    )
+    agent = DQNAgent(cfg)
+    rng = np.random.default_rng(99)
+    state = rng.standard_normal(STATE_DIM)
+    losses = []
+    for t in range(steps):
+        nxt = rng.standard_normal(STATE_DIM)
+        agent.remember(
+            state, int(rng.integers(N_ACTIONS)),
+            float(np.tanh(rng.normal())), nxt, t % 40 == 39,
+        )
+        state = (
+            rng.standard_normal(STATE_DIM) if t % 40 == 39 else nxt
+        )
+        if agent.can_learn():
+            losses.append(agent.learn().loss)
+        if t % 100 == 99:
+            agent.sync_target()
+    return agent, losses
+
+
+class TestF32VsF64Drift:
+    def test_drift_bounded_over_500_learn_steps(self):
+        a32, losses32 = _stream_agent("float32")
+        a64, losses64 = _stream_agent("float64")
+        assert len(losses32) >= 500
+        assert len(losses32) == len(losses64)
+
+        probe = np.random.default_rng(123).standard_normal(
+            (64, STATE_DIM)
+        )
+        q32 = a32.predict_q(probe).astype(np.float64)
+        q64 = a64.predict_q(probe)
+        scale = max(1.0, float(np.abs(q64).max()))
+        drift = float(np.abs(q32 - q64).max()) / scale
+        assert drift < DRIFT_BOUND, f"relative Q drift {drift:.2e}"
+
+    def test_losses_track_closely(self):
+        _, losses32 = _stream_agent("float32", steps=260)
+        _, losses64 = _stream_agent("float64", steps=260)
+        diffs = np.abs(np.asarray(losses32) - np.asarray(losses64))
+        scale = 1.0 + np.abs(np.asarray(losses64))
+        assert float((diffs / scale).max()) < DRIFT_BOUND

@@ -140,6 +140,33 @@ class TestRenderSummary:
         with pytest.raises(FileNotFoundError):
             load_run(tmp_path)
 
+    def test_bench_artifact_rendered(self, tmp_path):
+        # A BENCH_train_step.json dropped next to the run files gets its
+        # own table; absent artifacts leave the golden output untouched.
+        d = make_golden_run(tmp_path)
+        baseline = render_summary(d)
+        payload = {
+            "state_dim": 16599,
+            "batch_size": 32,
+            "learn_speedup": 3.957,
+            "replay_bytes_compact": 440_534_748,
+        }
+        (d / "BENCH_train_step.json").write_text(
+            json.dumps(payload) + "\n"
+        )
+        out = render_summary(d)
+        assert out.startswith(baseline)
+        assert "BENCH_train_step.json" in out
+        assert "learn_speedup" in out
+        assert "3.957" in out
+        assert "440,534,748" in out
+
+    def test_unreadable_bench_artifact_noted(self, tmp_path):
+        d = make_golden_run(tmp_path)
+        (d / "BENCH_vector_env.json").write_text("{not json")
+        out = render_summary(d)
+        assert "(BENCH_vector_env.json: unreadable)" in out
+
 
 class TestLoadRun:
     def test_events_of_filters(self, tmp_path):

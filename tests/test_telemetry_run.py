@@ -259,3 +259,39 @@ class TestCallbackOrdering:
         names = {r["name"] for r in rows}
         assert {"steps", "episodes", "reward", "max_q", "epsilon"} <= names
         assert any(n.startswith("span/train") for n in names)
+
+    def test_replay_bytes_gauge(self, tmp_path):
+        # The callback snapshots the agent's replay footprint at every
+        # episode end (the agent arrives via on_train_start(trainer)).
+        d = tmp_path / "run"
+        agent = tiny_agent()
+        with TelemetryRun(d, command="train", seed=0) as run:
+            Trainer(
+                ChainEnv(horizon=4),
+                agent,
+                episodes=2,
+                max_steps_per_episode=4,
+                callbacks=[run.callback()],
+            ).run()
+            assert (
+                run.registry.gauge("replay_bytes").value
+                == float(agent.replay.nbytes())
+            )
+            assert run.registry.gauge("replay_size").value == float(
+                len(agent.replay)
+            )
+        rows = read_metrics_csv(d / "metrics.csv")
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["replay_bytes"]["value"] > 0
+        assert by_name["replay_size"]["value"] == 8.0
+
+    def test_replay_bytes_skipped_without_agent(self, tmp_path):
+        # Manual callback use without a trainer must not break.
+        with TelemetryRun(tmp_path / "r", command="x") as run:
+            cb = run.callback()
+            cb.on_train_start(None)
+            cb.on_episode_end(
+                type("S", (), {"episode": 0, "total_reward": 1.0})()
+            )
+            names = {r["name"] for r in run.registry.snapshot_rows()}
+            assert "replay_bytes" not in names
