@@ -12,13 +12,20 @@ reproducible without writing Python:
 - ``blind``         -- blind docking over receptor surface spots;
 - ``curriculum``    -- multi-complex vectorized training (sync/async
   backend via ``--backend``, see docs/PARALLELISM.md);
-- ``inspect``       -- summarize a telemetry run directory.
+- ``inspect``       -- summarize a telemetry run directory;
+- ``resume``        -- continue an interrupted ``--log-dir`` run.
 
 Every experiment subcommand accepts ``--log-dir DIR``: the run then
 leaves ``manifest.json`` / ``events.jsonl`` / ``metrics.csv`` behind
 (full per-step telemetry for ``figure4``, manifest + result events for
 the rest), which ``repro inspect DIR`` renders without re-running
 anything.
+
+With ``--log-dir`` the run also gets a checkpointing runtime (see
+docs/CHECKPOINTS.md): ``--checkpoint-every N`` snapshots full training
+state every N episodes/steps, SIGINT/SIGTERM trigger one final snapshot
+plus a manifest sealed with status ``interrupted`` (exit code 130), and
+``repro resume DIR`` continues the run from where it stopped.
 """
 
 from __future__ import annotations
@@ -38,25 +45,46 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         default=None,
         help="write telemetry (manifest.json/events.jsonl/metrics.csv) here",
     )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --log-dir: snapshot full training state every N "
+        "episodes (sequential trainers) or env steps (vector trainers); "
+        "0 keeps only completion/shutdown snapshots",
+    )
 
 
 def _open_telemetry(args, command: str, config=None):
-    """A TelemetryRun for ``--log-dir`` (None when the flag is absent)."""
+    """A TelemetryRun for ``--log-dir`` (None when the flag is absent).
+
+    The manifest's ``extra`` records the full CLI argument vector so
+    ``repro resume`` can rebuild the invocation; ``resume`` itself
+    threads lineage through the private ``_parent_run_id`` /
+    ``_resume_step`` namespace attributes.
+    """
     log_dir = getattr(args, "log_dir", None)
     if not log_dir:
         return None
     from repro.telemetry import TelemetryRun
 
+    cli_args = {
+        k: v for k, v in vars(args).items() if not k.startswith("_")
+    }
     return TelemetryRun(
         log_dir,
         command=command,
         seed=getattr(args, "seed", None),
         config=config,
+        parent_run_id=getattr(args, "_parent_run_id", None),
+        resume_step=getattr(args, "_resume_step", None),
+        extra={"cli_args": cli_args},
     )
 
 
 def _telemetered(args, command: str, config, work) -> int:
-    """Run ``work(telemetry)`` under an optional telemetry run.
+    """Run ``work(telemetry, runtime)`` under an optional telemetry run.
 
     ``work`` returns ``(exit_code, summary_text)``.  With ``--log-dir``
     set, the manifest brackets the work, a ``result`` event records the
@@ -64,14 +92,53 @@ def _telemetered(args, command: str, config, work) -> int:
     before re-raising -- so every invocation leaves an inspectable
     record.  ``figure4`` additionally threads per-step telemetry
     through the trainer (see :func:`_cmd_figure4`).
+
+    ``--log-dir`` also attaches the checkpointing runtime: a
+    :class:`~repro.runtime.loop.RuntimeContext` rooted in the run dir
+    plus a :class:`~repro.runtime.signals.ShutdownGuard` so
+    SIGINT/SIGTERM stop the run at a safe boundary.  An interrupted run
+    seals its manifest with status ``interrupted`` and exits 130; see
+    ``repro resume``.
     """
     telemetry = _open_telemetry(args, command, config)
     if telemetry is None:
-        code, _ = work(None)
+        code, _ = work(None, None)
         return code
-    with telemetry:
-        code, summary = work(telemetry)
+    from repro.runtime import (
+        INTERRUPT_EXIT_CODE,
+        RunInterrupted,
+        RuntimeContext,
+        ShutdownGuard,
+    )
+
+    guard = ShutdownGuard()
+    runtime = RuntimeContext(
+        telemetry.dir,
+        checkpoint_every=getattr(args, "checkpoint_every", 0) or 0,
+        guard=guard,
+        telemetry=telemetry,
+    )
+    try:
+        with guard:
+            code, summary = work(telemetry, runtime)
         telemetry.emit("result", ok=code == 0, summary=summary)
+    except RunInterrupted as exc:
+        telemetry.emit(
+            "interrupted",
+            phase=exc.phase,
+            checkpoint=str(exc.checkpoint_path or ""),
+        )
+        telemetry.finalize("interrupted")
+        print(
+            f"[runtime] interrupted during {exc.phase!r}; "
+            f"resume with: repro resume {telemetry.dir}",
+            file=sys.stderr,
+        )
+        return INTERRUPT_EXIT_CODE
+    except BaseException:
+        telemetry.finalize("failed")
+        raise
+    telemetry.finalize("completed")
     print(f"[telemetry] wrote {telemetry.dir}")
     return code
 
@@ -184,6 +251,12 @@ def build_parser() -> argparse.ArgumentParser:
         "inspect", help="summarize a telemetry run directory"
     )
     p.add_argument("run_dir", help="directory written via --log-dir")
+
+    p = sub.add_parser(
+        "resume",
+        help="continue an interrupted run from its --log-dir directory",
+    )
+    p.add_argument("run_dir", help="directory of the interrupted run")
     return parser
 
 
@@ -215,7 +288,7 @@ def _cmd_geometry(args) -> int:
         seed=args.seed + 2018,
     )
 
-    def work(_telemetry):
+    def work(_telemetry, _runtime):
         report = run_geometry_experiment(cfg)
         text = report.summary()
         print(text)
@@ -237,8 +310,10 @@ def _cmd_figure4(args) -> int:
         compact_states=args.compact_states,
     )
 
-    def work(telemetry):
-        result = run_figure4_experiment(cfg, telemetry=telemetry)
+    def work(telemetry, runtime):
+        result = run_figure4_experiment(
+            cfg, telemetry=telemetry, runtime=runtime
+        )
         text = result.summary()
         print(text)
         return 0, text
@@ -251,8 +326,10 @@ def _cmd_baselines(args) -> int:
 
     cfg = ci_scale_config(episodes=40, seed=args.seed, learning_rate=0.002)
 
-    def work(_telemetry):
-        comp = run_baseline_comparison(cfg, budget=args.budget)
+    def work(_telemetry, runtime):
+        comp = run_baseline_comparison(
+            cfg, budget=args.budget, runtime=runtime
+        )
         text = comp.summary()
         print(text)
         return 0, text
@@ -265,7 +342,7 @@ def _cmd_comm_ablation(args) -> int:
 
     cfg = ci_scale_config(episodes=4, seed=args.seed)
 
-    def work(_telemetry):
+    def work(_telemetry, _runtime):
         text = run_comm_ablation(cfg, steps=args.steps).summary()
         print(text)
         return 0, text
@@ -281,7 +358,7 @@ def _cmd_screen(args) -> int:
 
     cfg = ci_scale_config(episodes=1, seed=args.seed).complex
 
-    def work(_telemetry):
+    def work(_telemetry, _runtime):
         built = build_complex(cfg)
         library = generate_library(cfg, args.ligands, seed=args.seed)
         hits = screen_library(
@@ -313,7 +390,7 @@ def _cmd_blind(args) -> int:
 
     cfg = ci_scale_config(episodes=1, seed=args.seed).complex
 
-    def work(_telemetry):
+    def work(_telemetry, _runtime):
         built = build_complex(cfg)
         result = blind_dock(
             built,
@@ -340,13 +417,14 @@ def _cmd_curriculum(args) -> int:
         episodes=args.episodes, seed=args.seed, learning_rate=0.002
     )
 
-    def work(telemetry):
+    def work(telemetry, runtime):
         result = run_curriculum_experiment(
             cfg,
             n_train_complexes=args.complexes,
             eval_episodes=args.eval_episodes,
             backend=args.backend,
             telemetry=telemetry,
+            runtime=runtime,
         )
         text = result.summary()
         print(text)
@@ -362,8 +440,10 @@ def _cmd_reward_ablation(args) -> int:
         episodes=args.episodes, seed=args.seed, learning_rate=0.002
     )
 
-    def work(_telemetry):
-        result = run_reward_ablation(cfg, schemes=tuple(args.schemes))
+    def work(_telemetry, runtime):
+        result = run_reward_ablation(
+            cfg, schemes=tuple(args.schemes), runtime=runtime
+        )
         text = result.summary()
         print(text)
         return 0, text
@@ -389,8 +469,8 @@ def _cmd_sweep(args) -> int:
     )
     values = [_parse_value(v) for v in args.values]
 
-    def work(_telemetry):
-        result = run_sweep(cfg, args.parameter, values)
+    def work(_telemetry, runtime):
+        result = run_sweep(cfg, args.parameter, values, runtime=runtime)
         text = (
             result.summary()
             + f"\n\nbest setting: {args.parameter} = {result.best_setting()}"
@@ -426,6 +506,59 @@ def _cmd_inspect(args) -> int:
     return 0
 
 
+def _cmd_resume(args) -> int:
+    """Re-dispatch an interrupted run from its recorded CLI arguments.
+
+    The run directory's manifest stores the original argument vector
+    (``extra.cli_args``); we rebuild the namespace, point ``--log-dir``
+    back at the same directory (checkpoints and result memos live
+    there), and re-run the original command.  The new manifest records
+    lineage: ``parent_run_id`` is the interrupted run's id and
+    ``resume_step`` the global step of the newest checkpoint.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.runtime import (
+        CHECKPOINT_DIR_NAME,
+        CheckpointReadError,
+        latest_checkpoint,
+        read_meta,
+    )
+    from repro.telemetry.manifest import MANIFEST_NAME
+
+    run_dir = Path(args.run_dir)
+    manifest_path = run_dir / MANIFEST_NAME
+    if not manifest_path.exists():
+        print(f"error: no {MANIFEST_NAME} under {run_dir}", file=sys.stderr)
+        return 1
+    manifest = json.loads(manifest_path.read_text())
+    cli_args = (manifest.get("extra") or {}).get("cli_args") or {}
+    command = cli_args.get("command")
+    if command not in _COMMANDS or command == "resume":
+        print(
+            f"error: manifest records no resumable command "
+            f"(got {command!r}); was the run started via the repro CLI "
+            "with --log-dir?",
+            file=sys.stderr,
+        )
+        return 1
+    resume_step = None
+    latest = latest_checkpoint(run_dir / CHECKPOINT_DIR_NAME)
+    if latest is not None:
+        try:
+            resume_step = read_meta(latest).get("global_step")
+        except CheckpointReadError as exc:
+            print(f"warning: {exc}", file=sys.stderr)
+    ns = argparse.Namespace(**cli_args)
+    ns.log_dir = str(run_dir)
+    ns._parent_run_id = manifest.get("run_id")
+    ns._resume_step = resume_step
+    at = f" (global step {resume_step})" if resume_step is not None else ""
+    print(f"[runtime] resuming {command!r} in {run_dir}{at}")
+    return _COMMANDS[command](ns)
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "geometry": _cmd_geometry,
@@ -439,6 +572,7 @@ _COMMANDS = {
     "reward-ablation": _cmd_reward_ablation,
     "sweep": _cmd_sweep,
     "inspect": _cmd_inspect,
+    "resume": _cmd_resume,
 }
 
 

@@ -236,6 +236,25 @@ class DQNDockingConfig:
         ]
 
 
+def config_from_dict(data: dict) -> DQNDockingConfig:
+    """Rebuild a :class:`DQNDockingConfig` from its dict form.
+
+    The inverse of ``dataclasses.asdict`` as stored in run manifests:
+    the exact config of any archived run directory loads back with
+    ``config_from_dict(json.load(open("manifest.json"))["config"])``.
+    Unknown keys are ignored so manifests written by newer versions
+    still load.
+    """
+    names = {f.name for f in dataclasses.fields(DQNDockingConfig)}
+    kwargs = {k: v for k, v in data.items() if k in names}
+    if isinstance(kwargs.get("complex"), dict):
+        cnames = {f.name for f in dataclasses.fields(ComplexConfig)}
+        kwargs["complex"] = ComplexConfig(
+            **{k: v for k, v in kwargs["complex"].items() if k in cnames}
+        )
+    return DQNDockingConfig(**kwargs)
+
+
 #: The exact configuration of the paper's Section 4 experiment.
 PAPER_CONFIG = DQNDockingConfig()
 

@@ -85,6 +85,7 @@ def run_baseline_comparison(
     strategies: tuple[str, ...] = ("montecarlo", "local", "scatter", "ga"),
     include_dqn: bool = True,
     dqn_rollout_steps: int = 200,
+    runtime=None,
 ) -> BaselineComparison:
     """Run every optimizer with ``budget`` score evaluations.
 
@@ -92,32 +93,49 @@ def run_baseline_comparison(
     (each step = one evaluation), then reports the best score over a
     greedy deployment rollout plus everything seen while training --
     matching how the paper frames DQN as an anytime learner.
+
+    With a :class:`~repro.runtime.loop.RuntimeContext` attached, each
+    finished optimizer's result is memoized in ``results.json`` and DQN
+    training checkpoints under the ``baselines-dqn`` phase, so an
+    interrupted comparison resumes where it stopped instead of
+    re-running every method.
     """
+    from repro.runtime.loop import RunLoop, memoized
+
     built = build_complex(cfg.complex)
     results: list[MethodResult] = []
+    decode = lambda d: MethodResult(**d)  # noqa: E731 - local adapter
 
     for name in strategies:
-        engine = MetadockEngine(
-            built,
-            shift_length=cfg.shift_length,
-            rotation_angle_deg=cfg.rotation_angle_deg,
-        )
-        if name == "montecarlo":
-            opt = MonteCarloOptimizer(
-                engine,
-                MonteCarloConfig(steps=budget, restarts=3),
-                seed=cfg.seed,
+        if runtime is not None:
+            runtime.check_interrupt(f"baselines-{name}")
+
+        def run_strategy(name=name) -> MethodResult:
+            engine = MetadockEngine(
+                built,
+                shift_length=cfg.shift_length,
+                rotation_angle_deg=cfg.rotation_angle_deg,
             )
-            res = opt.run()
-            results.append(
-                MethodResult("montecarlo", res.best_score, res.evaluations)
-            )
-        else:
+            if name == "montecarlo":
+                res = MonteCarloOptimizer(
+                    engine,
+                    MonteCarloConfig(steps=budget, restarts=3),
+                    seed=cfg.seed,
+                ).run()
+                return MethodResult(
+                    "montecarlo", res.best_score, res.evaluations
+                )
             params = STRATEGY_PRESETS[name](budget)
             res = MetaheuristicSchema(engine, params, seed=cfg.seed).run()
-            results.append(
-                MethodResult(f"metaheuristic-{name}", res.best_score, res.evaluations)
+            return MethodResult(
+                f"metaheuristic-{name}", res.best_score, res.evaluations
             )
+
+        results.append(
+            memoized(
+                runtime, f"baselines/{name}", run_strategy, decode=decode
+            )
+        )
 
     if include_dqn:
         env = make_env(cfg, built)
@@ -134,12 +152,24 @@ def run_baseline_comparison(
                 target_update_steps=cfg.target_update_steps,
                 train_interval=cfg.train_interval,
             )
-            history = trainer.run()
-            rollout_best, _trace = greedy_rollout(env, agent, dqn_rollout_steps)
-            best = max(history.best_score, rollout_best)
+            history = RunLoop(runtime, phase="baselines-dqn").run_episodes(
+                trainer
+            )
+
+            def run_rollout() -> MethodResult:
+                rollout_best, _trace = greedy_rollout(
+                    env, agent, dqn_rollout_steps
+                )
+                best = max(history.best_score, rollout_best)
+                return MethodResult(
+                    "dqn-docking",
+                    best,
+                    history.total_steps + dqn_rollout_steps,
+                )
+
             results.append(
-                MethodResult(
-                    "dqn-docking", best, history.total_steps + dqn_rollout_steps
+                memoized(
+                    runtime, "baselines/dqn", run_rollout, decode=decode
                 )
             )
         finally:

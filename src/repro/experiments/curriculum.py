@@ -82,6 +82,7 @@ def run_curriculum_experiment(
     eval_episodes: int = 3,
     backend: str = "sync",
     telemetry=None,
+    runtime=None,
 ) -> CurriculumResult:
     """Train curriculum vs single-complex agents; evaluate held-out.
 
@@ -91,7 +92,14 @@ def run_curriculum_experiment(
     selects the vector-env backend for the curriculum phase; a
     :class:`repro.telemetry.TelemetryRun` passed as ``telemetry``
     receives the backend's spans and ``vector_env/*`` metrics.
+
+    With a :class:`~repro.runtime.loop.RuntimeContext`, both training
+    regimes run in checkpointed step segments (phases ``curriculum``
+    and ``single``) and the held-out evaluations are memoized, so an
+    interrupted study resumes where it stopped.
     """
+    from repro.runtime.loop import RunLoop, memoized
+
     if n_train_complexes < 2:
         raise ValueError("curriculum needs at least 2 complexes")
     steps = total_steps or cfg.episodes * cfg.max_steps_per_episode
@@ -115,14 +123,15 @@ def run_curriculum_experiment(
     )
     try:
         curriculum_agent = build_agent(cfg, venv.state_dim, venv.n_actions)
-        VectorTrainer(
+        vtrainer = VectorTrainer(
             venv,
             curriculum_agent,
             learning_start=cfg.learning_start,
             target_update_steps=cfg.target_update_steps,
             train_interval=cfg.train_interval,
             tracer=tracer,
-        ).run(steps)
+        )
+        RunLoop(runtime, phase="curriculum").run_steps(vtrainer, steps)
     finally:
         venv.close()
 
@@ -135,32 +144,51 @@ def run_curriculum_experiment(
         single_agent = build_agent(
             cfg, single_venv.state_dim, single_venv.n_actions
         )
-        VectorTrainer(
+        single_vtrainer = VectorTrainer(
             single_venv,
             single_agent,
             learning_start=cfg.learning_start,
             target_update_steps=cfg.target_update_steps,
             train_interval=cfg.train_interval,
-        ).run(steps)
+        )
+        RunLoop(runtime, phase="single").run_steps(single_vtrainer, steps)
     finally:
         single_venv.close()
 
     # Held-out evaluation.
     holdout_built = build_complex(_complex_cfg(cfg, holdout_seed))
     env = make_env(cfg, holdout_built)
+    decode_eval = lambda d: EvaluationResult(**d)  # noqa: E731
     try:
-        curriculum_eval = evaluate_policy(
-            env, curriculum_agent, episodes=eval_episodes,
-            max_steps=cfg.max_steps_per_episode, rng=cfg.seed,
+        curriculum_eval = memoized(
+            runtime,
+            "curriculum/eval-curriculum",
+            lambda: evaluate_policy(
+                env, curriculum_agent, episodes=eval_episodes,
+                max_steps=cfg.max_steps_per_episode, rng=cfg.seed,
+            ),
+            decode=decode_eval,
         )
-        single_eval = evaluate_policy(
-            env, single_agent, episodes=eval_episodes,
-            max_steps=cfg.max_steps_per_episode, rng=cfg.seed,
+        single_eval = memoized(
+            runtime,
+            "curriculum/eval-single",
+            lambda: evaluate_policy(
+                env, single_agent, episodes=eval_episodes,
+                max_steps=cfg.max_steps_per_episode, rng=cfg.seed,
+            ),
+            decode=decode_eval,
         )
-        fresh = build_agent(cfg, env.state_dim, env.n_actions)
-        untrained_eval = evaluate_policy(
-            env, fresh, episodes=eval_episodes,
-            max_steps=cfg.max_steps_per_episode, rng=cfg.seed,
+        untrained_eval = memoized(
+            runtime,
+            "curriculum/eval-untrained",
+            lambda: evaluate_policy(
+                env,
+                build_agent(cfg, env.state_dim, env.n_actions),
+                episodes=eval_episodes,
+                max_steps=cfg.max_steps_per_episode,
+                rng=cfg.seed,
+            ),
+            decode=decode_eval,
         )
     finally:
         env.close()

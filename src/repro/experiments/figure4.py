@@ -148,7 +148,12 @@ def build_agent_for_env(cfg: DQNDockingConfig, env):
 
 
 def run_figure4_experiment(
-    cfg: DQNDockingConfig, *, on_episode_end=None, telemetry=None
+    cfg: DQNDockingConfig,
+    *,
+    on_episode_end=None,
+    telemetry=None,
+    runtime=None,
+    phase: str = "figure4",
 ) -> Figure4Result:
     """Train DQN-Docking per Algorithm 2 and collect the Figure 4 series.
 
@@ -161,7 +166,16 @@ def run_figure4_experiment(
     through trainer, agent, environment, and engine (so spans nest as
     train/episode/env-step/engine-step/score), and its callback streams
     per-step/per-episode events.  The caller owns finalization.
+
+    ``runtime`` is an optional
+    :class:`~repro.runtime.loop.RuntimeContext`: training then runs
+    through a checkpointing :class:`~repro.runtime.loop.RunLoop` under
+    the phase name ``phase`` -- snapshots on cadence and shutdown, and
+    on re-entry the run resumes (or short-circuits when the phase
+    already completed).  ``None`` keeps the classic direct path.
     """
+    from repro.runtime.loop import RunLoop
+
     env = make_env(cfg)
     callbacks = []
     tracer = None
@@ -189,7 +203,7 @@ def run_figure4_experiment(
             callbacks=callbacks,
             tracer=tracer,
         )
-        history = trainer.run()
+        history = RunLoop(runtime, phase=phase).run_episodes(trainer)
     finally:
         env.close()
     return Figure4Result(config=cfg, history=history, agent=agent)

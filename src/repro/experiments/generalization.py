@@ -81,22 +81,35 @@ def run_generalization_experiment(
     *,
     n_targets: int = 2,
     eval_episodes: int = 3,
+    runtime=None,
 ) -> GeneralizationResult:
     """Train on the config's complex; evaluate zero-shot on new ones.
 
     Target complexes share the size class (receptor/ligand atom counts,
     hence state dimensionality) but differ in seed -- new pocket
     chemistry, new ligand, new geometry.
+
+    With a :class:`~repro.runtime.loop.RuntimeContext`, the source and
+    per-target scratch trainings checkpoint under their own phases and
+    the (cheap but non-resumable) policy evaluations are memoized in
+    ``results.json``, so the whole study survives interruption.
     """
+    from repro.runtime.loop import memoized
+
     if n_targets < 1:
         raise ValueError("n_targets must be >= 1")
-    source = run_figure4_experiment(cfg)
+    source = run_figure4_experiment(
+        cfg, runtime=runtime, phase="generalization-source"
+    )
     agent = source.agent
     result = GeneralizationResult(
         source_seed=cfg.complex.seed,
         source_best_score=source.history.best_score,
     )
+    decode_eval = lambda d: EvaluationResult(**d)  # noqa: E731
     for k in range(n_targets):
+        if runtime is not None:
+            runtime.check_interrupt(f"generalization-target-{k}")
         target_seed = cfg.complex.seed + 1000 * (k + 1)
         target_complex_cfg = dataclasses.replace(
             cfg.complex, seed=target_seed
@@ -105,24 +118,37 @@ def run_generalization_experiment(
         built = build_complex(target_complex_cfg)
         env = make_env(target_cfg, built)
         try:
-            transfer = evaluate_policy(
-                env,
-                agent,
-                episodes=eval_episodes,
-                max_steps=cfg.max_steps_per_episode,
-                rng=cfg.seed + k,
+            transfer = memoized(
+                runtime,
+                f"generalization/transfer-{k}",
+                lambda: evaluate_policy(
+                    env,
+                    agent,
+                    episodes=eval_episodes,
+                    max_steps=cfg.max_steps_per_episode,
+                    rng=cfg.seed + k,
+                ),
+                decode=decode_eval,
             )
-            fresh = build_agent_for_env(target_cfg, env)
-            untrained = evaluate_policy(
-                env,
-                fresh,
-                episodes=eval_episodes,
-                max_steps=cfg.max_steps_per_episode,
-                rng=cfg.seed + k,
+            untrained = memoized(
+                runtime,
+                f"generalization/untrained-{k}",
+                lambda: evaluate_policy(
+                    env,
+                    build_agent_for_env(target_cfg, env),
+                    episodes=eval_episodes,
+                    max_steps=cfg.max_steps_per_episode,
+                    rng=cfg.seed + k,
+                ),
+                decode=decode_eval,
             )
         finally:
             env.close()
-        scratch = run_figure4_experiment(target_cfg)
+        scratch = run_figure4_experiment(
+            target_cfg,
+            runtime=runtime,
+            phase=f"generalization-scratch-{k}",
+        )
         result.outcomes.append(
             TransferOutcome(
                 target_seed=target_seed,

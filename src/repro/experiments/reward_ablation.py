@@ -100,8 +100,18 @@ class RewardAblationResult:
 def run_reward_ablation(
     cfg: DQNDockingConfig,
     schemes: tuple[str, ...] = ("sign", "clipped", "scaled", "potential"),
+    *,
+    runtime=None,
 ) -> RewardAblationResult:
-    """Train one agent per reward scheme on the identical complex."""
+    """Train one agent per reward scheme on the identical complex.
+
+    With a :class:`~repro.runtime.loop.RuntimeContext`, every scheme
+    trains under its own checkpoint phase (``reward-<scheme>``):
+    finished schemes short-circuit on resume, the in-flight one
+    continues from its snapshot.
+    """
+    from repro.runtime.loop import RunLoop
+
     built = build_complex(cfg.complex)
     result = RewardAblationResult()
     for scheme in schemes:
@@ -110,7 +120,7 @@ def run_reward_ablation(
         )
         try:
             agent = build_agent_for_env(cfg, env)
-            history = Trainer(
+            trainer = Trainer(
                 env,
                 agent,
                 episodes=cfg.episodes,
@@ -118,7 +128,10 @@ def run_reward_ablation(
                 learning_start=cfg.learning_start,
                 target_update_steps=cfg.target_update_steps,
                 train_interval=cfg.train_interval,
-            ).run()
+            )
+            history = RunLoop(
+                runtime, phase=f"reward-{scheme}"
+            ).run_episodes(trainer)
             result.histories[scheme] = history
         finally:
             env.close()

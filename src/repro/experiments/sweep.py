@@ -66,11 +66,16 @@ def run_sweep(
     base: DQNDockingConfig,
     parameter: str,
     values: Sequence[Any],
+    *,
+    runtime=None,
 ) -> SweepResult:
     """Train one agent per value of ``parameter`` (other knobs pinned).
 
     ``parameter`` must be a field of :class:`DQNDockingConfig`; unknown
     names raise immediately rather than silently sweeping nothing.
+    With a :class:`~repro.runtime.loop.RuntimeContext`, each setting
+    trains under its own ``sweep-<parameter>-<value>`` checkpoint
+    phase, so an interrupted sweep resumes at the setting it stopped in.
     """
     if not values:
         raise ValueError("values must be non-empty")
@@ -79,5 +84,7 @@ def run_sweep(
     out = SweepResult(parameter=parameter)
     for value in values:
         cfg = base.replace(**{parameter: value})
-        out.results[value] = run_figure4_experiment(cfg)
+        out.results[value] = run_figure4_experiment(
+            cfg, runtime=runtime, phase=f"sweep-{parameter}-{value}"
+        )
     return out

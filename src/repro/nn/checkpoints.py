@@ -1,15 +1,23 @@
 """Checkpointing: save/restore network weights as ``.npz`` archives.
 
-Only parameters are persisted (not optimizer state): the use case is the
-paper's deployment story -- "reducing the computational cost once the NN
-is already trained" -- where a trained Q-network is reloaded for greedy
-rollouts.
+:func:`save_network` / :func:`load_network` persist bare parameters for
+the paper's deployment story -- "reducing the computational cost once
+the NN is already trained" -- where a trained Q-network is reloaded for
+greedy rollouts.  :func:`network_arrays` / :func:`load_network_arrays`
+expose the same validated parameter transport on in-memory dicts; the
+full-state run checkpoints of :mod:`repro.runtime` are built on them.
+
+Every load validates parameter count, per-layer shapes, *and* dtypes
+against the target network before any write, raising
+:class:`CheckpointMismatchError` on any disagreement -- never silently
+broadcasting, casting a float64 archive into a float32 network, or
+leaving the net half-written to crash mid-forward.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Union
+from typing import Dict, Union
 
 import numpy as np
 
@@ -18,34 +26,72 @@ from repro.nn.network import MLP
 PathLike = Union[str, Path]
 
 
+class CheckpointMismatchError(ValueError):
+    """A checkpoint does not fit the network/state it is loaded into.
+
+    Raised *before* any mutation, so the target is left untouched.
+    """
+
+
+def network_arrays(net: MLP, *, prefix: str = "p") -> Dict[str, np.ndarray]:
+    """All parameters as ``{prefix}{i}`` -> array (copies)."""
+    return {f"{prefix}{i}": p.copy() for i, p in enumerate(net.params())}
+
+
+def load_network_arrays(
+    net: MLP,
+    arrays: Dict[str, np.ndarray],
+    *,
+    prefix: str = "p",
+    source: str = "checkpoint",
+) -> MLP:
+    """Load a :func:`network_arrays` dict into ``net``, validated.
+
+    Parameter count, shapes, and dtypes are all checked against the
+    target before the first write, so a mismatch leaves ``net``
+    untouched and raises :class:`CheckpointMismatchError` with the
+    offending layer named.
+    """
+    params = net.params()
+    keys = [f"{prefix}{i}" for i in range(len(params))]
+    missing = [k for k in keys if k not in arrays]
+    relevant = [k for k in arrays if k.startswith(prefix)]
+    if missing or len(relevant) != len(params):
+        raise CheckpointMismatchError(
+            f"{source} has {len(relevant)} parameter arrays, "
+            f"network expects {len(params)}"
+            + (f" (missing {missing})" if missing else "")
+        )
+    loaded = [np.asarray(arrays[k]) for k in keys]
+    for i, (p, arr) in enumerate(zip(params, loaded)):
+        if p.shape != arr.shape:
+            raise CheckpointMismatchError(
+                f"{source} parameter {i}: shape {arr.shape} does not "
+                f"match network shape {p.shape}"
+            )
+        if p.dtype != arr.dtype:
+            raise CheckpointMismatchError(
+                f"{source} parameter {i}: dtype {arr.dtype} does not "
+                f"match network dtype {p.dtype} (refusing a silent cast)"
+            )
+    for p, arr in zip(params, loaded):
+        p[...] = arr
+    return net
+
+
 def save_network(net: MLP, path: PathLike) -> None:
     """Write all parameters to ``path`` (npz, keys ``p0``, ``p1``, ...)."""
-    arrays = {f"p{i}": p for i, p in enumerate(net.params())}
-    np.savez(path, **arrays)
+    np.savez(path, **network_arrays(net))
 
 
 def load_network(net: MLP, path: PathLike) -> MLP:
     """Load parameters saved by :func:`save_network` into ``net``.
 
-    The architecture must match; shapes are validated before any write,
-    so a mismatch leaves ``net`` untouched.
+    The architecture must match exactly -- parameter count, shapes, and
+    dtypes are validated before any write (see
+    :func:`load_network_arrays`), so a mismatch raises
+    :class:`CheckpointMismatchError` and leaves ``net`` untouched.
     """
     with np.load(path) as data:
-        params = net.params()
-        keys = [f"p{i}" for i in range(len(params))]
-        missing = [k for k in keys if k not in data]
-        if missing or len(data.files) != len(params):
-            raise ValueError(
-                f"checkpoint has {len(data.files)} arrays, "
-                f"network expects {len(params)}"
-            )
-        loaded = [data[k] for k in keys]
-        for p, arr in zip(params, loaded):
-            if p.shape != arr.shape:
-                raise ValueError(
-                    f"shape mismatch: checkpoint {arr.shape} vs "
-                    f"network {p.shape}"
-                )
-        for p, arr in zip(params, loaded):
-            p[...] = arr
-    return net
+        arrays = {k: data[k] for k in data.files}
+    return load_network_arrays(net, arrays, source=str(path))

@@ -58,6 +58,53 @@ class Optimizer(ABC):
     def _apply(self) -> None:
         """Rule-specific in-place parameter update."""
 
+    def _state_slots(self) -> dict:
+        """Named per-parameter state lists (momentum, squared avgs...)."""
+        return {}
+
+    def state_dict(self) -> dict:
+        """Full optimizer state: step counter plus every slot array.
+
+        The scratch workspaces (``_ws``) are excluded -- they carry no
+        information across steps.
+        """
+        state: dict = {"rule": type(self).__name__.lower(), "steps": self.steps}
+        for name, slots in self._state_slots().items():
+            state[name] = {f"s{i}": a.copy() for i, a in enumerate(slots)}
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (validated, in place)."""
+        from repro.nn.checkpoints import CheckpointMismatchError
+
+        rule = state.get("rule")
+        if rule != type(self).__name__.lower():
+            raise CheckpointMismatchError(
+                f"optimizer rule mismatch: checkpoint {rule!r} vs "
+                f"{type(self).__name__.lower()!r}"
+            )
+        slots_by_name = self._state_slots()
+        staged = []
+        for name, slots in slots_by_name.items():
+            saved = state.get(name)
+            if not isinstance(saved, dict) or len(saved) != len(slots):
+                raise CheckpointMismatchError(
+                    f"optimizer slot {name!r}: checkpoint has "
+                    f"{len(saved) if isinstance(saved, dict) else 0} arrays, "
+                    f"expected {len(slots)}"
+                )
+            for i, dst in enumerate(slots):
+                arr = np.asarray(saved[f"s{i}"])
+                if arr.shape != dst.shape:
+                    raise CheckpointMismatchError(
+                        f"optimizer slot {name}[{i}]: shape {arr.shape} vs "
+                        f"{dst.shape}"
+                    )
+                staged.append((dst, arr))
+        for dst, arr in staged:
+            dst[...] = arr
+        self.steps = int(state["steps"])
+
 
 class SGD(Optimizer):
     """Vanilla/momentum stochastic gradient descent."""
@@ -80,6 +127,9 @@ class SGD(Optimizer):
                 p += v
             else:
                 p -= ws
+
+    def _state_slots(self) -> dict:
+        return {"velocity": self._velocity}
 
 
 class RMSprop(Optimizer):
@@ -112,6 +162,9 @@ class RMSprop(Optimizer):
             np.divide(g, ws, out=ws)
             ws *= self.lr
             p -= ws
+
+    def _state_slots(self) -> dict:
+        return {"square_avg": self._sq}
 
 
 class Adam(Optimizer):
@@ -155,6 +208,9 @@ class Adam(Optimizer):
             np.divide(m, ws, out=ws)
             ws *= self.lr / bc1
             p -= ws
+
+    def _state_slots(self) -> dict:
+        return {"exp_avg": self._m, "exp_avg_sq": self._v}
 
 
 def make_optimizer(

@@ -447,6 +447,75 @@ class DQNAgent:
             mean_td_error=float(np.abs(td_errors).mean()),
         )
 
+    # -- checkpointing --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Everything needed to continue training bit-for-bit.
+
+        Covers both networks, the optimizer slots, the full replay ring,
+        the policy RNG, the n-step window, and the learn/sync counters.
+        Epsilon itself is a pure function of the global step, which the
+        run loop persists alongside this dict.
+        """
+        from repro.nn.checkpoints import network_arrays
+        from repro.utils.rng import generator_state
+
+        state: dict = {
+            "state_dim": self.config.state_dim,
+            "n_actions": self.config.n_actions,
+            "dtype": self.dtype.name,
+            "q_net": network_arrays(self.q_net),
+            "target_net": network_arrays(self.target_net),
+            "optimizer": self.optimizer.state_dict(),
+            "replay": self.replay.state_dict(),
+            "policy_rng": generator_state(self.policy.rng),
+            "learn_steps": self.learn_steps,
+            "target_syncs": self.target_syncs,
+        }
+        if self._nstep is not None:
+            state["nstep"] = self._nstep.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (validated, in place)."""
+        from repro.nn.checkpoints import (
+            CheckpointMismatchError,
+            load_network_arrays,
+        )
+        from repro.utils.rng import restore_generator
+
+        for field_name in ("state_dim", "n_actions"):
+            if int(state.get(field_name, -1)) != getattr(
+                self.config, field_name
+            ):
+                raise CheckpointMismatchError(
+                    f"agent {field_name} mismatch: checkpoint "
+                    f"{state.get(field_name)} vs config "
+                    f"{getattr(self.config, field_name)}"
+                )
+        if state.get("dtype") != self.dtype.name:
+            raise CheckpointMismatchError(
+                f"agent dtype mismatch: checkpoint {state.get('dtype')!r} "
+                f"vs agent {self.dtype.name!r}"
+            )
+        has_nstep = "nstep" in state
+        if has_nstep != (self._nstep is not None):
+            raise CheckpointMismatchError(
+                "n-step configuration mismatch between checkpoint and "
+                "agent"
+            )
+        load_network_arrays(self.q_net, state["q_net"], source="q_net")
+        load_network_arrays(
+            self.target_net, state["target_net"], source="target_net"
+        )
+        self.optimizer.load_state_dict(state["optimizer"])
+        self.replay.load_state_dict(state["replay"])
+        restore_generator(self.policy.rng, state["policy_rng"])
+        if self._nstep is not None:
+            self._nstep.load_state_dict(state["nstep"])
+        self.learn_steps = int(state["learn_steps"])
+        self.target_syncs = int(state["target_syncs"])
+
     def _soft_update(self, tau: float) -> None:
         """Polyak averaging: target <- tau * online + (1 - tau) * target."""
         for dst, src in zip(self.target_net.params(), self.q_net.params()):

@@ -220,3 +220,52 @@ class DistributionalDQNAgent:
         """Copy online weights into the target network."""
         self.target_net.copy_weights_from(self.q_net)
         self.target_syncs += 1
+
+    # -- checkpointing --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Full C51 learner state (networks, optimizer, replay, RNGs)."""
+        from repro.nn.checkpoints import network_arrays
+        from repro.utils.rng import generator_state
+
+        return {
+            "state_dim": self.config.state_dim,
+            "n_actions": self.config.n_actions,
+            "n_atoms": self.dist.n_atoms,
+            "q_net": network_arrays(self.q_net),
+            "target_net": network_arrays(self.target_net),
+            "optimizer": self.optimizer.state_dict(),
+            "replay": self.replay.state_dict(),
+            "policy_rng": generator_state(self.policy.rng),
+            "learn_steps": self.learn_steps,
+            "target_syncs": self.target_syncs,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (validated, in place)."""
+        from repro.nn.checkpoints import (
+            CheckpointMismatchError,
+            load_network_arrays,
+        )
+        from repro.utils.rng import restore_generator
+
+        checks = (
+            ("state_dim", self.config.state_dim),
+            ("n_actions", self.config.n_actions),
+            ("n_atoms", self.dist.n_atoms),
+        )
+        for field_name, expected in checks:
+            if int(state.get(field_name, -1)) != expected:
+                raise CheckpointMismatchError(
+                    f"C51 {field_name} mismatch: checkpoint "
+                    f"{state.get(field_name)} vs agent {expected}"
+                )
+        load_network_arrays(self.q_net, state["q_net"], source="q_net")
+        load_network_arrays(
+            self.target_net, state["target_net"], source="target_net"
+        )
+        self.optimizer.load_state_dict(state["optimizer"])
+        self.replay.load_state_dict(state["replay"])
+        restore_generator(self.policy.rng, state["policy_rng"])
+        self.learn_steps = int(state["learn_steps"])
+        self.target_syncs = int(state["target_syncs"])

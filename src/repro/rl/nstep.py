@@ -86,6 +86,49 @@ class NStepTransitionBuffer:
             self._window.popleft()
         return out
 
+    # -- checkpointing --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Window contents as stacked arrays (empty-safe)."""
+        k = len(self._window)
+        entries = list(self._window)
+        return {
+            "n": self.n,
+            "gamma": self.gamma,
+            "length": k,
+            "states": np.stack([e[0] for e in entries])
+            if k
+            else np.zeros((0,)),
+            "actions": np.array([e[1] for e in entries], dtype=np.int64),
+            "rewards": np.array([e[2] for e in entries], dtype=np.float64),
+            "next_states": np.stack([e[3] for e in entries])
+            if k
+            else np.zeros((0,)),
+            "terminals": np.array([e[4] for e in entries], dtype=bool),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (validated)."""
+        from repro.nn.checkpoints import CheckpointMismatchError
+
+        if int(state["n"]) != self.n:
+            raise CheckpointMismatchError(
+                f"n-step horizon mismatch: checkpoint {state['n']} vs "
+                f"buffer {self.n}"
+            )
+        k = int(state["length"])
+        self._window.clear()
+        for i in range(k):
+            self._window.append(
+                (
+                    np.asarray(state["states"][i]),
+                    int(state["actions"][i]),
+                    float(state["rewards"][i]),
+                    np.asarray(state["next_states"][i]),
+                    bool(state["terminals"][i]),
+                )
+            )
+
     def _emit(self, horizon: int) -> NStepTransition:
         """Accumulate the first ``horizon`` entries of the window."""
         horizon = min(horizon, self.n, len(self._window))

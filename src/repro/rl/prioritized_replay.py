@@ -146,3 +146,30 @@ class PrioritizedReplayMemory(ReplayMemory):
         pris = (np.abs(td_errors) + self.priority_eps) ** self.alpha
         for i, p in zip(np.asarray(indices), pris):
             self._tree.update(int(i), float(p))
+
+    # -- checkpointing --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Uniform ring state plus the priority tree and beta counter."""
+        state = super().state_dict()
+        state["layout"] = "prioritized-" + state["layout"]
+        state["tree"] = self._tree._tree.copy()
+        state["samples_drawn"] = self._samples_drawn
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.nn.checkpoints import CheckpointMismatchError
+
+        tree = np.asarray(state.get("tree"))
+        if tree.shape != self._tree._tree.shape:
+            raise CheckpointMismatchError(
+                f"priority tree size mismatch: checkpoint {tree.shape} "
+                f"vs memory {self._tree._tree.shape}"
+            )
+        inner = dict(state)
+        inner["layout"] = state.get("layout", "").replace(
+            "prioritized-", "", 1
+        )
+        super().load_state_dict(inner)
+        self._tree._tree[...] = tree
+        self._samples_drawn = int(state["samples_drawn"])

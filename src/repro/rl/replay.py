@@ -354,6 +354,121 @@ class ReplayMemory:
         """True once the ring has wrapped."""
         return self._size == self.capacity
 
+    # -- checkpointing --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Full replay state: ring contents, cursor, and sampling RNG.
+
+        Ring arrays are trimmed to the occupied rows (slots beyond
+        ``len(self)`` have never been written), so checkpoints of a
+        part-filled memory stay proportional to the data actually held.
+        Restoring via :meth:`load_state_dict` is bit-exact: the same
+        pushes and the same ``sample()`` draws follow.
+        """
+        from repro.utils.rng import generator_state
+
+        n = self._size
+        state: dict = {
+            "layout": "compact" if self._compact else "dense",
+            "capacity": self.capacity,
+            "state_dim": self.state_dim,
+            "dtype": self._dtype.name,
+            "size": n,
+            "cursor": self._cursor,
+            "actions": self._actions[:n].copy(),
+            "rewards": self._rewards[:n].copy(),
+            "terminals": self._terminals[:n].copy(),
+            "discounts": self._discounts[:n].copy(),
+            "rng": generator_state(self._rng),
+        }
+        if self._compact:
+            state.update(
+                prefix_len=self._prefix_len,
+                static=self._static.copy(),
+                dyn=self._dyn[:n].copy(),
+                next_ref=self._next_ref[:n].copy(),
+                pending=self._pending.copy(),
+                pending_slot=self._pending_slot,
+                overflow=self._overflow[: self._over_used].copy(),
+                over_used=self._over_used,
+                over_free=list(self._over_free),
+            )
+        else:
+            state.update(
+                states=self._states[:n].copy(),
+                next_states=self._next_states[:n].copy(),
+            )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (validated, in place)."""
+        from repro.nn.checkpoints import CheckpointMismatchError
+        from repro.utils.rng import restore_generator
+
+        layout = "compact" if self._compact else "dense"
+        if state.get("layout") != layout:
+            raise CheckpointMismatchError(
+                f"replay layout mismatch: checkpoint "
+                f"{state.get('layout')!r} vs memory {layout!r}"
+            )
+        for field in ("capacity", "state_dim"):
+            if int(state.get(field, -1)) != getattr(self, field):
+                raise CheckpointMismatchError(
+                    f"replay {field} mismatch: checkpoint "
+                    f"{state.get(field)} vs memory {getattr(self, field)}"
+                )
+        if state.get("dtype") != self._dtype.name:
+            raise CheckpointMismatchError(
+                f"replay dtype mismatch: checkpoint {state.get('dtype')!r} "
+                f"vs memory {self._dtype.name!r}"
+            )
+        n = int(state["size"])
+        if self._compact:
+            if int(state["prefix_len"]) != self._prefix_len:
+                raise CheckpointMismatchError(
+                    f"static prefix length mismatch: checkpoint "
+                    f"{state['prefix_len']} vs memory {self._prefix_len}"
+                )
+            if not np.array_equal(
+                np.asarray(state["static"]), self._static
+            ):
+                raise CheckpointMismatchError(
+                    "static prefix contents differ between checkpoint "
+                    "and memory (different complex?)"
+                )
+            self._dyn[:n] = state["dyn"]
+            self._dyn[n:] = 0
+            self._next_ref[:n] = state["next_ref"]
+            self._next_ref[n:] = _PENDING
+            np.copyto(self._pending, np.asarray(state["pending"]))
+            self._pending_slot = int(state["pending_slot"])
+            used = int(state["over_used"])
+            if used > self._overflow.shape[0]:
+                grown = np.zeros(
+                    (used, self._tail_dim), dtype=self._dtype
+                )
+                self._overflow = grown
+            self._overflow[:used] = state["overflow"]
+            self._overflow[used:] = 0
+            self._over_used = used
+            self._over_free = [int(i) for i in state["over_free"]]
+        else:
+            self._states[:n] = state["states"]
+            self._states[n:] = 0
+            self._next_states[:n] = state["next_states"]
+            self._next_states[n:] = 0
+        self._actions[:n] = state["actions"]
+        self._actions[n:] = 0
+        self._rewards[:n] = state["rewards"]
+        self._rewards[n:] = 0
+        self._terminals[:n] = state["terminals"]
+        self._terminals[n:] = False
+        self._discounts[:n] = state["discounts"]
+        self._discounts[n:] = 1.0
+        self._size = n
+        self._cursor = int(state["cursor"])
+        restore_generator(self._rng, state["rng"])
+
     def nbytes(self) -> int:
         """Approximate memory footprint of the stored arrays."""
         n = (

@@ -180,19 +180,38 @@ class Trainer:
         self.callbacks = CallbackList(callbacks)
         self.tracer = tracer
 
-    def run(self) -> TrainingHistory:
-        """Execute the full training run."""
+    def run(
+        self,
+        *,
+        start_episode: int = 0,
+        global_step: int = 0,
+        history: TrainingHistory | None = None,
+        stop=None,
+    ) -> TrainingHistory:
+        """Execute the training run (or the remainder of one).
+
+        ``start_episode`` / ``global_step`` / ``history`` continue an
+        interrupted run from a checkpoint: the episode loop resumes at
+        ``start_episode`` with the epsilon/target-sync counters at
+        ``global_step`` and new episodes appended to ``history``.  With
+        the defaults this is a fresh run.  ``stop``, when given, is
+        called after every completed episode as ``stop(ep, global_step)``
+        and ends the run early when it returns True -- the hook
+        :class:`repro.runtime.loop.RunLoop` uses for checkpoint cadence
+        and graceful shutdown.  ``wall_seconds`` accumulates across
+        resumed segments; ``timer_report`` covers only the last one.
+        """
         tracer = self.tracer if self.tracer is not None else SpanTracer()
         cb = self.callbacks
         notify = len(cb) > 0
-        history = TrainingHistory()
-        global_step = 0
+        if history is None:
+            history = TrainingHistory()
 
         t0 = time.perf_counter()
         if notify:
             cb.on_train_start(self)
         with tracer.span("train"):
-            for ep in range(self.episodes):
+            for ep in range(start_episode, self.episodes):
                 if notify:
                     cb.on_episode_start(ep)
                 state = self.env.reset()
@@ -283,12 +302,15 @@ class Trainer:
                     min_crystal_rmsd=min_rmsd,
                 )
                 history.episodes.append(stats)
+                history.total_steps = global_step
                 if self.on_episode_end is not None:
                     self.on_episode_end(stats)
                 if notify:
                     cb.on_episode_end(stats)
+                if stop is not None and stop(ep, global_step):
+                    break
         history.total_steps = global_step
-        history.wall_seconds = time.perf_counter() - t0
+        history.wall_seconds += time.perf_counter() - t0
         history.timer_report = tracer.report()
         if notify:
             cb.on_train_end(history)

@@ -83,15 +83,27 @@ class VectorTrainer:
         random_actions = policy.rng.integers(policy.n_actions, size=n)
         return np.where(random_mask, random_actions, greedy)
 
-    def run(self, total_steps: int) -> VectorRunStats:
-        """Collect ``total_steps`` transitions (summed across envs)."""
+    def run(self, total_steps: int, *, start_step: int = 0) -> VectorRunStats:
+        """Collect transitions until ``total_steps`` (summed across envs).
+
+        ``start_step`` continues an interrupted run: the epsilon
+        schedule, learn cadence, and target-sync cadence all key off the
+        global step, so a resumed segment picks up exactly where the
+        checkpointed one left off.  The venv is (re)reset at the start
+        of every call -- checkpoint boundaries are therefore also
+        episode boundaries for all N environments (see
+        docs/CHECKPOINTS.md).  The returned stats cover only this call's
+        segment, except ``total_steps`` which reports the global count.
+        """
         if total_steps < 1:
             raise ValueError("total_steps must be >= 1")
+        if not 0 <= start_step < total_steps:
+            raise ValueError("start_step must lie in [0, total_steps)")
         tracer = self.tracer if self.tracer is not None else SpanTracer()
         restarts_before = getattr(self.venv, "worker_restarts", 0)
         t0 = time.perf_counter()
         states = self.venv.reset()
-        global_step = 0
+        global_step = start_step
         episodes = 0
         best_score = float("-inf")
         reward_sum = 0.0
@@ -143,15 +155,16 @@ class VectorTrainer:
             for _ in range(syncs):
                 self.agent.sync_target()
         wall = time.perf_counter() - t0
+        segment_steps = global_step - start_step
         return VectorRunStats(
             total_steps=global_step,
             episodes_completed=episodes,
             best_score=(
                 best_score if np.isfinite(best_score) else float("nan")
             ),
-            mean_reward=reward_sum / max(global_step, 1),
+            mean_reward=reward_sum / max(segment_steps, 1),
             wall_seconds=wall,
-            steps_per_second=global_step / max(wall, 1e-9),
+            steps_per_second=segment_steps / max(wall, 1e-9),
             timer_report=tracer.report(),
             worker_restarts=(
                 getattr(self.venv, "worker_restarts", 0) - restarts_before

@@ -1,0 +1,195 @@
+"""Full-state run checkpoints: one atomic ``.npz`` per training phase.
+
+A checkpoint is a nested state tree (the ``state_dict()`` output of an
+agent plus run-level counters) split into two parts:
+
+- every :class:`numpy.ndarray` leaf goes into the npz archive under its
+  ``/``-joined tree path (weights, optimizer slots, the replay ring);
+- every other leaf (counters, RNG states, flags, the training history)
+  goes into one JSON document stored as the ``__meta__`` member.
+
+The whole archive is serialized to memory and then written with
+:func:`repro.utils.serialization.atomic_write`, so a reader never sees
+a torn checkpoint: after a kill at any instant the file on disk is
+either the previous complete snapshot or the new one.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.utils.serialization import atomic_write
+
+PathLike = Union[str, Path]
+
+#: Bump when the on-disk layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: npz member holding the JSON scalar tree.
+_META_KEY = "__meta__"
+
+#: Marker dict standing in for an array leaf inside the JSON tree.
+_ARRAY_TAG = "__array__"
+
+
+class CheckpointReadError(RuntimeError):
+    """The file is not a readable checkpoint of a known schema."""
+
+
+def _split_arrays(state: Dict[str, Any]) -> tuple[dict, dict]:
+    """Separate array leaves from the JSON-safe scalar tree."""
+    arrays: dict[str, np.ndarray] = {}
+
+    def walk(node: dict, path: str) -> dict:
+        tree: dict = {}
+        for key, value in node.items():
+            key = str(key)
+            full = f"{path}/{key}" if path else key
+            if isinstance(value, np.ndarray):
+                arrays[full] = value
+                tree[key] = {_ARRAY_TAG: full}
+            elif isinstance(value, dict):
+                tree[key] = walk(value, full)
+            elif isinstance(value, (np.integer,)):
+                tree[key] = int(value)
+            elif isinstance(value, (np.floating,)):
+                tree[key] = float(value)
+            elif isinstance(value, (np.bool_,)):
+                tree[key] = bool(value)
+            elif isinstance(value, tuple):
+                tree[key] = list(value)
+            else:
+                tree[key] = value
+        return tree
+
+    return arrays, walk(state, "")
+
+
+def _merge_arrays(tree: dict, arrays: Dict[str, np.ndarray]) -> dict:
+    """Re-inline array leaves into the scalar tree."""
+    out: dict = {}
+    for key, value in tree.items():
+        if isinstance(value, dict):
+            if set(value) == {_ARRAY_TAG}:
+                out[key] = arrays[value[_ARRAY_TAG]]
+            else:
+                out[key] = _merge_arrays(value, arrays)
+        else:
+            out[key] = value
+    return out
+
+
+@dataclass
+class Checkpoint:
+    """One full-state snapshot: the state tree plus run-level metadata.
+
+    ``state`` is the nested ``state_dict()`` tree (arrays welcome at any
+    depth).  ``meta`` carries everything the run loop needs to continue
+    -- phase name, mode, next episode/step, completion flag, serialized
+    training history -- and is what ``repro inspect`` renders without
+    touching the arrays.
+    """
+
+    state: Dict[str, Any] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def write(self, path: PathLike) -> None:
+        """Serialize to ``path`` atomically (see module docstring)."""
+        arrays, tree = _split_arrays(self.state)
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "meta": self.meta,
+            "state": tree,
+        }
+        blob = json.dumps(payload).encode("utf-8")
+        members = {
+            _META_KEY: np.frombuffer(blob, dtype=np.uint8),
+            **arrays,
+        }
+        buf = io.BytesIO()
+        np.savez(buf, **members)
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write(target, buf.getvalue())
+
+    @classmethod
+    def load(cls, path: PathLike) -> "Checkpoint":
+        """Read a checkpoint written by :meth:`write`."""
+        payload, arrays = _read_members(path, load_arrays=True)
+        return cls(
+            state=_merge_arrays(payload.get("state", {}), arrays),
+            meta=payload.get("meta", {}),
+        )
+
+
+def _read_members(
+    path: PathLike, *, load_arrays: bool
+) -> tuple[dict, Dict[str, np.ndarray]]:
+    try:
+        with np.load(path) as data:
+            if _META_KEY not in data.files:
+                raise CheckpointReadError(
+                    f"{path}: not a repro checkpoint (no {_META_KEY})"
+                )
+            payload = json.loads(bytes(data[_META_KEY]).decode("utf-8"))
+            arrays = (
+                {k: data[k] for k in data.files if k != _META_KEY}
+                if load_arrays
+                else {}
+            )
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        if isinstance(exc, CheckpointReadError):
+            raise
+        raise CheckpointReadError(f"{path}: unreadable checkpoint: {exc}")
+    schema = payload.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise CheckpointReadError(
+            f"{path}: checkpoint schema {schema} is not supported "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    return payload, arrays
+
+
+def read_meta(path: PathLike) -> Dict[str, Any]:
+    """Only the metadata of a checkpoint (arrays untouched)."""
+    payload, _ = _read_members(path, load_arrays=False)
+    return payload.get("meta", {})
+
+
+def checkpoint_info(path: PathLike) -> Dict[str, Any]:
+    """Inspection record: metadata plus file/array sizes.
+
+    Powers the checkpoint section of ``repro inspect``; cheap enough to
+    call on every checkpoint in a run directory.
+    """
+    target = Path(path)
+    payload, _ = _read_members(target, load_arrays=False)
+    with np.load(target) as data:
+        n_arrays = len([k for k in data.files if k != _META_KEY])
+    return {
+        "path": str(target),
+        "file_bytes": target.stat().st_size,
+        "n_arrays": n_arrays,
+        "meta": payload.get("meta", {}),
+    }
+
+
+def latest_checkpoint(directory: PathLike) -> Path | None:
+    """The most recently modified ``.npz`` checkpoint under ``directory``.
+
+    ``repro resume`` uses this to report the step a run restarts from;
+    returns None when the directory is missing or holds no checkpoints.
+    """
+    d = Path(directory)
+    if not d.is_dir():
+        return None
+    candidates = sorted(
+        d.glob("*.npz"), key=lambda p: (p.stat().st_mtime, p.name)
+    )
+    return candidates[-1] if candidates else None

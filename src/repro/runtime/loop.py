@@ -1,0 +1,402 @@
+"""The run-lifecycle layer: checkpointed training loops for every driver.
+
+:class:`RuntimeContext` owns one run directory's durable state -- the
+``checkpoints/`` folder (one rolling ``.npz`` per training phase), the
+``results.json`` memo of non-RL work (metaheuristic baselines, policy
+evaluations), and the optional :class:`~repro.runtime.signals.ShutdownGuard`
+/ :class:`~repro.telemetry.run.TelemetryRun` wiring.
+
+:class:`RunLoop` hosts both trainer flavours under that context:
+
+- :meth:`RunLoop.run_episodes` drives a
+  :class:`~repro.rl.trainer.Trainer`, checkpointing at episode
+  boundaries.  ``env.reset()`` is deterministic, so a restored run
+  replays the exact trajectory an uninterrupted one would have -- the
+  resume is bit-for-bit.
+- :meth:`RunLoop.run_steps` drives a
+  :class:`~repro.rl.vector_trainer.VectorTrainer` in fixed segments of
+  ``checkpoint_every`` environment steps.  The venv resets and n-step
+  windows flush at every segment boundary *whether or not* a checkpoint
+  interrupts there, so segmented-and-resumed equals segmented-and-not.
+
+Experiment drivers pass ``runtime=None`` to keep the classic
+zero-overhead path: the loop then simply calls ``trainer.run()``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from pathlib import Path
+from typing import Any, Callable, Optional, Union
+
+import numpy as np
+
+from repro.runtime.checkpoint import Checkpoint
+from repro.runtime.signals import ShutdownGuard
+from repro.utils.serialization import (
+    _from_jsonable,
+    _to_jsonable,
+    dump_json,
+    load_json,
+)
+
+PathLike = Union[str, Path]
+
+#: Subdirectory of a run dir holding per-phase checkpoints.
+CHECKPOINT_DIR_NAME = "checkpoints"
+
+#: File memoizing completed non-RL work units (JSON, atomic writes).
+RESULTS_NAME = "results.json"
+
+
+class RunInterrupted(RuntimeError):
+    """A shutdown signal stopped the run at a safe boundary.
+
+    The checkpoint named by ``checkpoint_path`` holds the full state at
+    the boundary; ``repro resume <run-dir>`` continues from it.
+    """
+
+    def __init__(self, phase: str, checkpoint_path: Optional[Path] = None):
+        self.phase = phase
+        self.checkpoint_path = checkpoint_path
+        where = f" (checkpoint: {checkpoint_path})" if checkpoint_path else ""
+        super().__init__(f"run interrupted during phase {phase!r}{where}")
+
+
+def _phase_slug(phase: str) -> str:
+    """File-system-safe checkpoint stem for a phase name."""
+    safe = "".join(
+        c if (c.isalnum() or c in "-_.") else "-" for c in str(phase)
+    )
+    return safe.strip("-.") or "phase"
+
+
+class RuntimeContext:
+    """Durable run state: checkpoints, result memos, shutdown, telemetry.
+
+    Parameters
+    ----------
+    run_dir:
+        Directory owning the run's artefacts (usually the telemetry
+        ``--log-dir``); created on first checkpoint write.
+    checkpoint_every:
+        Cadence of mid-run snapshots -- episodes for
+        :meth:`RunLoop.run_episodes`, environment steps for
+        :meth:`RunLoop.run_steps`.  0 disables cadence snapshots;
+        phase-completion and shutdown snapshots are always written.
+    guard:
+        A :class:`~repro.runtime.signals.ShutdownGuard`; the loops poll
+        it at safe boundaries.
+    telemetry:
+        A :class:`~repro.telemetry.run.TelemetryRun`; checkpoint events
+        land in its event log and its counters/gauges ride along in
+        every snapshot.
+    """
+
+    def __init__(
+        self,
+        run_dir: PathLike,
+        *,
+        checkpoint_every: int = 0,
+        guard: Optional[ShutdownGuard] = None,
+        telemetry=None,
+    ):
+        self.dir = Path(run_dir)
+        self.checkpoint_dir = self.dir / CHECKPOINT_DIR_NAME
+        self.checkpoint_every = max(0, int(checkpoint_every))
+        self.guard = guard
+        self.telemetry = telemetry
+        self._results_path = self.dir / RESULTS_NAME
+        self._results: dict = (
+            load_json(self._results_path)
+            if self._results_path.exists()
+            else {}
+        )
+
+    # -- shutdown ----------------------------------------------------------
+    @property
+    def stop_requested(self) -> bool:
+        """True once the guard latched a termination signal."""
+        return self.guard is not None and self.guard.stop_requested
+
+    def check_interrupt(self, phase: str) -> None:
+        """Raise :class:`RunInterrupted` if a stop is pending.
+
+        Drivers call this between non-RL work units so a signal during
+        e.g. a metaheuristic baseline still exits at a resumable point.
+        """
+        if self.stop_requested:
+            raise RunInterrupted(phase)
+
+    # -- checkpoints -------------------------------------------------------
+    def checkpoint_path(self, phase: str) -> Path:
+        """Where ``phase``'s rolling checkpoint lives."""
+        return self.checkpoint_dir / f"{_phase_slug(phase)}.npz"
+
+    def load_checkpoint(self, phase: str) -> Optional[Checkpoint]:
+        """The existing snapshot of ``phase``, or None."""
+        path = self.checkpoint_path(phase)
+        if not path.exists():
+            return None
+        return Checkpoint.load(path)
+
+    def save_checkpoint(
+        self, phase: str, state: dict, meta: dict
+    ) -> Path:
+        """Atomically (over)write ``phase``'s snapshot."""
+        path = self.checkpoint_path(phase)
+        meta = {"phase": phase, **meta}
+        Checkpoint(state=state, meta=meta).write(path)
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "checkpoint",
+                phase=phase,
+                path=path.name,
+                complete=bool(meta.get("complete", False)),
+                global_step=meta.get("global_step"),
+            )
+            self.telemetry.flush()
+        return path
+
+    # -- result memos ------------------------------------------------------
+    def cached(
+        self,
+        key: str,
+        compute: Callable[[], Any],
+        *,
+        decode: Optional[Callable[[Any], Any]] = None,
+    ) -> Any:
+        """Return the memoized result for ``key`` or compute and store it.
+
+        Results persist in ``results.json`` (atomic writes), so a
+        resumed run skips every already-finished unit.  Cache hits come
+        back as plain JSON trees; pass ``decode`` to rebuild the
+        original dataclass.
+        """
+        if key in self._results:
+            value = self._results[key]
+            return decode(value) if decode is not None else value
+        value = compute()
+        self._results[key] = _to_jsonable(value)
+        dump_json(self._results, self._results_path)
+        return value
+
+
+def memoized(
+    runtime: Optional[RuntimeContext],
+    key: str,
+    compute: Callable[[], Any],
+    *,
+    decode: Optional[Callable[[Any], Any]] = None,
+) -> Any:
+    """``runtime.cached`` when a runtime is attached, else just compute."""
+    if runtime is None:
+        return compute()
+    return runtime.cached(key, compute, decode=decode)
+
+
+def _history_to_meta(history) -> Any:
+    return _to_jsonable(history)
+
+
+def _history_from_meta(data):
+    from repro.rl.trainer import EpisodeStats, TrainingHistory
+
+    raw = _from_jsonable(data)
+    return TrainingHistory(
+        episodes=[EpisodeStats(**ep) for ep in raw["episodes"]],
+        total_steps=raw["total_steps"],
+        wall_seconds=raw["wall_seconds"],
+        timer_report=raw.get("timer_report", ""),
+    )
+
+
+def _merge_vector_stats(agg: Optional[dict], seg) -> dict:
+    """Fold one segment's :class:`VectorRunStats` into the aggregate."""
+    s = dataclasses.asdict(seg)
+    if agg is None:
+        return s
+    seg_best = s["best_score"]
+    agg_best = agg["best_score"]
+    best = (
+        seg_best
+        if not _isfinite(agg_best)
+        else (agg_best if not _isfinite(seg_best) else max(agg_best, seg_best))
+    )
+    prev_steps = agg["total_steps"]
+    seg_steps = s["total_steps"] - prev_steps
+    total = s["total_steps"]
+    wall = agg["wall_seconds"] + s["wall_seconds"]
+    mean_reward = (
+        agg["mean_reward"] * prev_steps + s["mean_reward"] * seg_steps
+    ) / max(total, 1)
+    return {
+        "total_steps": total,
+        "episodes_completed": agg["episodes_completed"]
+        + s["episodes_completed"],
+        "best_score": best,
+        "mean_reward": mean_reward,
+        "wall_seconds": wall,
+        "steps_per_second": total / max(wall, 1e-9),
+        "timer_report": s["timer_report"],
+        "worker_restarts": agg["worker_restarts"] + s["worker_restarts"],
+    }
+
+
+def _isfinite(x) -> bool:
+    return isinstance(x, (int, float)) and math.isfinite(x)
+
+
+class RunLoop:
+    """Host a trainer under a (possibly absent) runtime context.
+
+    One loop per training phase; multi-phase drivers construct one per
+    phase with distinct ``phase`` names so each gets its own rolling
+    checkpoint and completed phases short-circuit on resume.
+    """
+
+    def __init__(
+        self, runtime: Optional[RuntimeContext], *, phase: str = "train"
+    ):
+        self.runtime = runtime
+        self.phase = str(phase)
+
+    # -- shared state capture ---------------------------------------------
+    def _capture(self, agent) -> dict:
+        state = {"agent": agent.state_dict()}
+        rt = self.runtime
+        if rt is not None and rt.telemetry is not None:
+            state["telemetry"] = rt.telemetry.registry.state_dict()
+        return state
+
+    def _restore(self, agent, state: dict) -> None:
+        agent.load_state_dict(state["agent"])
+        rt = self.runtime
+        if rt is not None and rt.telemetry is not None:
+            if "telemetry" in state:
+                rt.telemetry.registry.load_state_dict(state["telemetry"])
+
+    # -- episode-mode (sequential Trainer) --------------------------------
+    def run_episodes(self, trainer):
+        """Run a :class:`~repro.rl.trainer.Trainer` to completion.
+
+        Without a runtime this is exactly ``trainer.run()``.  With one,
+        the loop restores any existing checkpoint of this phase first
+        (returning immediately when the phase already completed), then
+        checkpoints every ``checkpoint_every`` episodes and at shutdown,
+        raising :class:`RunInterrupted` after the shutdown snapshot.
+        """
+        rt = self.runtime
+        if rt is None:
+            return trainer.run()
+        from repro.rl.trainer import TrainingHistory
+
+        agent = trainer.agent
+        ckpt = rt.load_checkpoint(self.phase)
+        start_episode = 0
+        global_step = 0
+        history = TrainingHistory()
+        if ckpt is not None:
+            meta = ckpt.meta
+            history = _history_from_meta(meta["history"])
+            self._restore(agent, ckpt.state)
+            if meta.get("complete"):
+                return history
+            start_episode = int(meta["next_episode"])
+            global_step = int(meta["global_step"])
+        every = rt.checkpoint_every
+
+        def snapshot(next_episode: int, gstep: int, complete: bool) -> Path:
+            return rt.save_checkpoint(
+                self.phase,
+                self._capture(agent),
+                {
+                    "mode": "episodes",
+                    "next_episode": next_episode,
+                    "episodes_target": trainer.episodes,
+                    "global_step": gstep,
+                    "complete": complete,
+                    "history": _history_to_meta(history),
+                },
+            )
+
+        def stop(ep: int, gstep: int) -> bool:
+            stopping = rt.stop_requested
+            due = every > 0 and (ep + 1 - start_episode) % every == 0
+            if (due or stopping) and ep + 1 < trainer.episodes:
+                snapshot(ep + 1, gstep, complete=False)
+            return stopping
+
+        history = trainer.run(
+            start_episode=start_episode,
+            global_step=global_step,
+            history=history,
+            stop=stop,
+        )
+        if rt.stop_requested and len(history.episodes) < trainer.episodes:
+            raise RunInterrupted(
+                self.phase, rt.checkpoint_path(self.phase)
+            )
+        snapshot(trainer.episodes, history.total_steps, complete=True)
+        return history
+
+    # -- step-mode (VectorTrainer) ----------------------------------------
+    def run_steps(self, vtrainer, total_steps: int):
+        """Run a :class:`~repro.rl.vector_trainer.VectorTrainer`.
+
+        With a runtime, collection happens in fixed segments of
+        ``checkpoint_every`` environment steps (one big segment when 0);
+        every segment boundary resets the venv, flushes n-step windows,
+        and writes a checkpoint -- making the segmentation part of the
+        run's definition, so interrupted-and-resumed runs equal
+        uninterrupted ones exactly.
+        """
+        rt = self.runtime
+        if rt is None:
+            return vtrainer.run(total_steps)
+        from repro.rl.vector_trainer import VectorRunStats
+
+        agent = vtrainer.agent
+        ckpt = rt.load_checkpoint(self.phase)
+        current = 0
+        agg: Optional[dict] = None
+        if ckpt is not None:
+            meta = ckpt.meta
+            agg = _from_jsonable(meta.get("stats"))
+            self._restore(agent, ckpt.state)
+            if meta.get("complete"):
+                return VectorRunStats(**agg)
+            current = int(meta["next_step"])
+        segment = rt.checkpoint_every or total_steps
+        flush = getattr(agent, "flush_episode", None)
+
+        while current < total_steps:
+            rt.check_interrupt(self.phase)
+            target = min(current + segment, total_steps)
+            seg_stats = vtrainer.run(target, start_step=current)
+            if flush is not None:
+                # Segment boundaries are episode boundaries for all N
+                # envs: drain partial n-step windows deterministically.
+                flush()
+            current = seg_stats.total_steps
+            agg = _merge_vector_stats(agg, seg_stats)
+            complete = current >= total_steps
+            rt.save_checkpoint(
+                self.phase,
+                self._capture(agent),
+                {
+                    "mode": "steps",
+                    "next_step": current,
+                    "global_step": current,
+                    "steps_target": total_steps,
+                    "complete": complete,
+                    "stats": _to_jsonable(agg),
+                },
+            )
+            if rt.stop_requested and not complete:
+                raise RunInterrupted(
+                    self.phase, rt.checkpoint_path(self.phase)
+                )
+        assert agg is not None
+        return VectorRunStats(**agg)

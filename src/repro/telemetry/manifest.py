@@ -82,6 +82,10 @@ class RunManifest:
     finished_at: str | None = None
     duration_seconds: float | None = None
     status: str = "running"
+    #: Checkpoint lineage: the run_id this run resumed from (None for a
+    #: fresh run) and the global step / phase the resume started at.
+    parent_run_id: str | None = None
+    resume_step: int | None = None
     extra: Dict[str, Any] = field(default_factory=dict)
 
     @classmethod
@@ -92,6 +96,8 @@ class RunManifest:
         seed: int | None = None,
         config: Any = None,
         run_id: str | None = None,
+        parent_run_id: str | None = None,
+        resume_step: int | None = None,
         extra: Dict[str, Any] | None = None,
     ) -> "RunManifest":
         """Stamp a new manifest for a run starting now."""
@@ -110,6 +116,9 @@ class RunManifest:
             git_sha=git_revision(),
             started_at=_utc_iso(now),
             started_unix=now,
+            parent_run_id=parent_run_id,
+            resume_step=resume_step,
+            extra=dict(extra) if extra else {},
         )
 
     def finalize(self, status: str = "completed") -> "RunManifest":
@@ -133,10 +142,9 @@ class RunManifest:
 
     def write(self, path: PathLike) -> None:
         """Atomically write the manifest JSON to ``path``."""
-        target = Path(path)
-        tmp = target.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
-        tmp.replace(target)
+        from repro.utils.serialization import atomic_write
+
+        atomic_write(path, json.dumps(self.to_dict(), indent=2) + "\n")
 
     @classmethod
     def load(cls, path: PathLike) -> "RunManifest":
@@ -153,5 +161,10 @@ class RunManifest:
             f"git `{self.git_sha[:12]}`" if self.git_sha else None,
             f"started {self.started_at}",
             f"status {self.status}",
+            (
+                f"resumed from `{self.parent_run_id}`"
+                if self.parent_run_id
+                else None
+            ),
         ]
         return ", ".join(p for p in parts if p)

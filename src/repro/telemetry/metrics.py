@@ -191,6 +191,33 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
+    # -- checkpointing -----------------------------------------------------
+    def state_dict(self) -> dict:
+        """Counter and gauge values for run checkpoints.
+
+        Histograms are excluded: their reservoirs are statistical
+        samples whose RNG position is not worth pinning -- resumed runs
+        re-accumulate them, and docs/CHECKPOINTS.md documents them as
+        not bit-stable.
+        """
+        counters = {}
+        gauges = {}
+        for name, m in self._metrics.items():
+            if isinstance(m, Counter):
+                counters[name] = m.value
+            elif isinstance(m, Gauge):
+                gauges[name] = {"value": m.value, "updates": m.updates}
+        return {"counters": counters, "gauges": gauges}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore counters/gauges captured by :meth:`state_dict`."""
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).value = float(value)
+        for name, payload in state.get("gauges", {}).items():
+            g = self.gauge(name)
+            g.value = float(payload["value"])
+            g.updates = int(payload["updates"])
+
     def snapshot_rows(self) -> List[dict]:
         """One dict per metric with :data:`SNAPSHOT_COLUMNS` keys.
 

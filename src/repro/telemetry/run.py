@@ -62,6 +62,9 @@ class TelemetryRun:
         seed: int | None = None,
         config: Any = None,
         run_id: str | None = None,
+        parent_run_id: str | None = None,
+        resume_step: int | None = None,
+        extra: Optional[dict] = None,
         step_interval: int = 1,
         event_buffer: int = 64,
         sinks: Optional[List[TelemetrySink]] = None,
@@ -72,7 +75,13 @@ class TelemetryRun:
         self.dir.mkdir(parents=True, exist_ok=True)
         self.step_interval = int(step_interval)
         self.manifest = RunManifest.create(
-            command, seed=seed, config=config, run_id=run_id
+            command,
+            seed=seed,
+            config=config,
+            run_id=run_id,
+            parent_run_id=parent_run_id,
+            resume_step=resume_step,
+            extra=extra,
         )
         self.manifest.write(self.dir / MANIFEST_NAME)
         self.registry = MetricsRegistry()

@@ -123,12 +123,21 @@ class JsonlEventSink:
             self.flush()
 
     def flush(self) -> None:
-        """Write buffered lines through to the OS."""
+        """Write buffered lines through to the OS (fsync'd).
+
+        The fsync makes every flushed event durable, so a SIGKILL after
+        a checkpoint flush cannot roll the event log back behind the
+        checkpoint it describes.
+        """
         if self._closed or not self._buffer:
             return
         self._file.write("\n".join(self._buffer) + "\n")
         self._buffer.clear()
         self._file.flush()
+        try:
+            os.fsync(self._file.fileno())
+        except OSError:  # pragma: no cover - fs without fsync support
+            pass
 
     def close(self) -> None:
         """Flush, fsync, and close the file (idempotent)."""
@@ -150,13 +159,22 @@ class JsonlEventSink:
 
 
 def read_events(path: PathLike) -> List[dict]:
-    """Load every event from a ``events.jsonl`` file, in emit order."""
+    """Load every event from a ``events.jsonl`` file, in emit order.
+
+    A torn final line (the process was killed mid-append) is skipped
+    rather than raised, so logs from interrupted runs stay readable --
+    everything before the tear is intact because flushes are whole-line.
+    """
     out: List[dict] = []
     with open(path, encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 out.append(json.loads(line))
+            except json.JSONDecodeError:
+                break
     return out
 
 

@@ -183,6 +183,65 @@ def _metrics_section(record: RunRecord) -> str:
     )
 
 
+def _checkpoint_section(record: RunRecord) -> str:
+    """Render the per-phase checkpoint files, newest last.
+
+    Reads only each checkpoint's metadata (``read_meta``) -- the array
+    payloads stay on disk, so inspecting a multi-GB run dir is cheap.
+    """
+    from repro.runtime.checkpoint import (
+        CheckpointReadError,
+        checkpoint_info,
+    )
+    from repro.runtime.loop import CHECKPOINT_DIR_NAME
+
+    ckpt_dir = record.path / CHECKPOINT_DIR_NAME
+    if not ckpt_dir.is_dir():
+        return ""
+    paths = sorted(
+        ckpt_dir.glob("*.npz"), key=lambda p: (p.stat().st_mtime, p.name)
+    )
+    if not paths:
+        return ""
+    rows = []
+    for path in paths:
+        try:
+            info = checkpoint_info(path)
+        except CheckpointReadError:
+            rows.append((path.name, "-", "-", "-", "-", "unreadable"))
+            continue
+        meta = info["meta"]
+        mode = meta.get("mode", "-")
+        if mode == "episodes":
+            progress = (
+                f"{meta.get('next_episode', '?')}"
+                f"/{meta.get('episodes_target', '?')} ep"
+            )
+        elif mode == "steps":
+            progress = (
+                f"{meta.get('next_step', '?')}"
+                f"/{meta.get('steps_target', '?')} steps"
+            )
+        else:
+            progress = "-"
+        rows.append(
+            (
+                path.name,
+                str(meta.get("phase", "-")),
+                progress,
+                "yes" if meta.get("complete") else "no",
+                f"{info['n_arrays']}",
+                f"{info['file_bytes'] / 1024:.1f} KiB",
+            )
+        )
+    return render_table(
+        ["file", "phase", "progress", "complete", "arrays", "size"],
+        rows,
+        title="Checkpoints",
+        align=["l", "l", "r", "l", "r", "r"],
+    )
+
+
 #: Benchmark artifacts rendered by ``repro inspect`` when dropped into
 #: the run directory (each is a flat JSON object of named numbers).
 BENCH_ARTIFACTS = ("BENCH_train_step.json", "BENCH_vector_env.json")
@@ -239,6 +298,9 @@ def render_summary(run_dir: PathLike) -> str:
         _span_section(record),
         _metrics_section(record),
     ]
+    checkpoints = _checkpoint_section(record)
+    if checkpoints:
+        sections.append(checkpoints)
     bench = _bench_section(record)
     if bench:
         sections.append(bench)

@@ -45,6 +45,38 @@ def spawn_seeds(seed: SeedLike, n: int) -> list[np.random.SeedSequence]:
     return list(base.spawn(n))
 
 
+def generator_state(gen: np.random.Generator) -> dict:
+    """Snapshot a generator's full bit-generator state.
+
+    The returned dict is JSON-compatible (Python ints are unbounded, so
+    the 128-bit PCG64 words survive a JSON round-trip) and feeds
+    :func:`restore_generator` -- the mechanism run checkpoints use to
+    continue every RNG stream bit-for-bit.
+    """
+    return gen.bit_generator.state
+
+
+def restore_generator(gen: np.random.Generator, state: dict) -> np.random.Generator:
+    """Restore ``gen`` to a state captured by :func:`generator_state`.
+
+    The bit-generator kinds must match (a PCG64 stream cannot continue
+    from an MT19937 snapshot); numpy raises on mismatch.  JSON
+    round-trips may have stringified the big integers, so numeric
+    strings are coerced back.
+    """
+    gen.bit_generator.state = _intify(state)
+    return gen
+
+
+def _intify(obj):
+    """Recursively coerce numeric strings back to ints (post-JSON)."""
+    if isinstance(obj, dict):
+        return {k: _intify(v) for k, v in obj.items()}
+    if isinstance(obj, str) and (obj.isdigit() or (obj[:1] == "-" and obj[1:].isdigit())):
+        return int(obj)
+    return obj
+
+
 class RngFactory:
     """Named independent generators derived from one master seed.
 

@@ -10,12 +10,38 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from pathlib import Path
 from typing import Any, Union
 
 import numpy as np
 
 PathLike = Union[str, Path]
+
+
+def atomic_write(path: PathLike, data: Union[str, bytes]) -> None:
+    """Write ``data`` to ``path`` atomically (tmp + fsync + rename).
+
+    The payload lands in a sibling temporary file, is fsync'd, and is
+    then renamed over the target, so a reader never observes a torn or
+    truncated file even if the process is killed mid-write -- the
+    durability contract run manifests and checkpoints rely on.
+    """
+    target = Path(path)
+    tmp = target.with_name(target.name + f".tmp.{os.getpid()}")
+    mode = "wb" if isinstance(data, bytes) else "w"
+    try:
+        with open(tmp, mode) as fh:
+            fh.write(data)
+            fh.flush()
+            try:
+                os.fsync(fh.fileno())
+            except OSError:  # pragma: no cover - fs without fsync support
+                pass
+        os.replace(tmp, target)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
 
 
 def _to_jsonable(obj: Any) -> Any:
@@ -50,8 +76,12 @@ def _from_jsonable(obj: Any) -> Any:
 
 
 def dump_json(obj: Any, path: PathLike, *, indent: int = 2) -> None:
-    """Serialize ``obj`` (dataclass trees welcome) to ``path``."""
-    Path(path).write_text(json.dumps(_to_jsonable(obj), indent=indent))
+    """Serialize ``obj`` (dataclass trees welcome) to ``path``.
+
+    Writes are atomic (:func:`atomic_write`), so a kill mid-dump leaves
+    either the previous document or the new one, never a fragment.
+    """
+    atomic_write(path, json.dumps(_to_jsonable(obj), indent=indent))
 
 
 def load_json(path: PathLike) -> Any:

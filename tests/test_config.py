@@ -142,3 +142,26 @@ class TestCiScaleConfig:
         a = ci_scale_config(episodes=10, seed=3)
         b = ci_scale_config(episodes=10, seed=4)
         assert a.complex.seed != b.complex.seed
+
+
+class TestConfigFromDict:
+    def test_roundtrips_manifest_form(self):
+        import dataclasses
+        import json
+
+        from repro.config import config_from_dict
+
+        cfg = ci_scale_config(episodes=10, seed=3, variant="rainbow")
+        # The manifest stores the config as asdict -> JSON.
+        data = json.loads(json.dumps(dataclasses.asdict(cfg)))
+        assert config_from_dict(data) == cfg
+
+    def test_ignores_unknown_keys(self):
+        import dataclasses
+
+        from repro.config import config_from_dict
+
+        data = dataclasses.asdict(ci_scale_config(episodes=5, seed=1))
+        data["from_the_future"] = True
+        data["complex"]["also_new"] = 9
+        assert config_from_dict(data) == ci_scale_config(episodes=5, seed=1)
