@@ -8,8 +8,13 @@ both backends over identical environments and writes a
 ``BENCH_vector_env.json`` artifact (consumed by the CI job) with the
 measured steps/second and speedup.
 
-On a single-core runner the comparison is meaningless (the async
-backend only adds IPC overhead there), so the assertion is skipped.
+The speedup claim assumes one core per worker.  On runners with fewer
+cores than environments the workers time-share cores and the async
+backend can legitimately lose to sync without any code regression, so
+the artifact records ``cpu_count`` and a ``core_starved`` flag
+(``cpu_count < n_envs``) and the assertion only runs on machines with
+enough cores -- a core-starved result is informational, never a
+failure (the CI job reads the flag the same way).
 """
 
 from __future__ import annotations
@@ -77,6 +82,7 @@ def test_bench_sync_vs_async_throughput(bench_complex):
         "n_envs": N_ENVS,
         "steps_per_backend": N_STEPS * N_ENVS,
         "cpu_count": cores,
+        "core_starved": cores < N_ENVS,
         "sync_steps_per_second": round(results["sync"], 2),
         "async_steps_per_second": round(results["async"], 2),
         "speedup": round(results["async"] / results["sync"], 3),
@@ -84,8 +90,10 @@ def test_bench_sync_vs_async_throughput(bench_complex):
     ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nvector-env throughput: {payload}")
 
-    if cores < 2:
+    if payload["core_starved"]:
         pytest.skip(
-            "single core: async cannot beat sync, artifact still written"
+            f"core-starved ({cores} cores < {N_ENVS} envs): async vs "
+            "sync is not a regression signal here; artifact written "
+            "with core_starved=true"
         )
     assert results["async"] >= results["sync"], payload

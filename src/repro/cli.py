@@ -56,6 +56,16 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_scoring_method(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--scoring-method",
+        default="exact",
+        choices=["exact", "cutoff", "grid", "incremental"],
+        help="pose-scoring kernel (incremental = Verlet-list scorer; "
+        "see docs/PERFORMANCE.md, 'Scoring kernels')",
+    )
+
+
 def _open_telemetry(args, command: str, config=None):
     """A TelemetryRun for ``--log-dir`` (None when the flag is absent).
 
@@ -179,6 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="store only the dynamic ligand tail in replay "
         "(float32 hot loop; see docs/PERFORMANCE.md)",
     )
+    _add_scoring_method(p)
 
     p = sub.add_parser("baselines", help="DQN vs MC vs metaheuristics")
     _add_common(p)
@@ -246,6 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["sync", "async", "auto"],
         help="vector-env backend (async = one worker process per env)",
     )
+    _add_scoring_method(p)
 
     p = sub.add_parser(
         "inspect", help="summarize a telemetry run directory"
@@ -308,6 +320,8 @@ def _cmd_figure4(args) -> int:
         learning_rate=args.learning_rate,
         variant=args.variant,
         compact_states=args.compact_states,
+        # getattr: manifests from before the flag existed resume fine.
+        scoring_method=getattr(args, "scoring_method", "exact"),
     )
 
     def work(telemetry, runtime):
@@ -414,7 +428,10 @@ def _cmd_curriculum(args) -> int:
     from repro.experiments.curriculum import run_curriculum_experiment
 
     cfg = ci_scale_config(
-        episodes=args.episodes, seed=args.seed, learning_rate=0.002
+        episodes=args.episodes,
+        seed=args.seed,
+        learning_rate=0.002,
+        scoring_method=getattr(args, "scoring_method", "exact"),
     )
 
     def work(telemetry, runtime):

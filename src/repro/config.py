@@ -135,6 +135,14 @@ class DQNDockingConfig:
     #: float64 pipeline bit-for-bit unchanged; not available with the
     #: "distributional" variant.
     compact_states: bool = False
+    #: Pose-scoring kernel: "exact" (full Eq. 1, the correctness
+    #: reference), "cutoff" (cell-list truncation), "grid" (precomputed
+    #: fields) or "incremental" (Verlet-list scorer, see
+    #: :mod:`repro.scoring.incremental` and docs/PERFORMANCE.md).
+    scoring_method: str = "exact"
+    #: Extra keyword arguments forwarded to the scorer constructor
+    #: (e.g. ``{"cutoff": 12.0, "skin": 3.0}`` for "incremental").
+    scoring_kwargs: dict = field(default_factory=dict)
     #: Steps between agent training updates (1 = update every step).
     train_interval: int = 1
     #: Loss used for the Bellman residual ("mse" per the paper's Eq.;
@@ -169,6 +177,15 @@ class DQNDockingConfig:
             raise ValueError(
                 "compact_states is not supported with the distributional "
                 "variant (C51 keeps the dense float64 replay)"
+            )
+        # Literal set (not repro.scoring.SCORING_METHODS) to avoid a
+        # config -> scoring import cycle; a scoring test asserts the two
+        # stay in sync.
+        if self.scoring_method not in {
+            "exact", "cutoff", "grid", "incremental"
+        }:
+            raise ValueError(
+                f"unknown scoring_method {self.scoring_method!r}"
             )
         if self.loss not in {"mse", "huber"}:
             raise ValueError(f"unknown loss {self.loss!r}")

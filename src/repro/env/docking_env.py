@@ -236,6 +236,8 @@ def make_env(
         shift_length=cfg.shift_length,
         rotation_angle_deg=cfg.rotation_angle_deg,
         n_torsions=cfg.complex.rotatable_bonds if cfg.flexible_ligand else 0,
+        scoring_method=cfg.scoring_method,
+        scoring_kwargs=dict(cfg.scoring_kwargs),
     )
     if comm is None:
         comm = make_comm(cfg.comm_mode)

@@ -36,6 +36,8 @@ class FlexibleDockingEnv(DockingEnv):
         low_score_threshold: float = -100000.0,
         comm: CommChannel | None = None,
         compact_states: bool = False,
+        scoring_method: str = "exact",
+        scoring_kwargs: dict | None = None,
     ):
         engine = MetadockEngine(
             built,
@@ -43,6 +45,8 @@ class FlexibleDockingEnv(DockingEnv):
             rotation_angle_deg=rotation_angle_deg,
             n_torsions=n_torsions,
             torsion_angle_deg=torsion_angle_deg,
+            scoring_method=scoring_method,
+            scoring_kwargs=scoring_kwargs,
         )
         super().__init__(
             engine,
@@ -69,4 +73,6 @@ def make_flexible_env(
         escape_factor=cfg.escape_factor,
         low_score_patience=cfg.low_score_patience,
         low_score_threshold=cfg.low_score_threshold,
+        scoring_method=cfg.scoring_method,
+        scoring_kwargs=dict(cfg.scoring_kwargs),
     )

@@ -184,6 +184,7 @@ def run_figure4_experiment(
         callbacks.append(telemetry.callback())
         env.tracer = tracer
         env.engine.tracer = tracer
+        env.engine.metrics = telemetry.registry
     try:
         # Compact mode: the env emits float32 dynamic tails; the agent
         # gets the full paper-shaped dimension plus the constant

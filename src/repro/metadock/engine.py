@@ -65,8 +65,9 @@ class MetadockEngine:
         in the paper.  Disabling it shrinks the NN input without changing
         the MDP (the block is constant).
     scoring_method / scoring_kwargs:
-        Pose-scorer selection ("exact" default, "cutoff", "grid"; see
-        :mod:`repro.scoring.scorers`) -- the engine's speed/accuracy dial.
+        Pose-scorer selection ("exact" default, "cutoff", "grid",
+        "incremental"; see :mod:`repro.scoring.scorers`) -- the engine's
+        speed/accuracy dial.
     """
 
     def __init__(
@@ -151,10 +152,42 @@ class MetadockEngine:
         self._coords_cache: np.ndarray | None = None
         self._score_cache: float | None = None
         self.score_evaluations = 0
-        #: Optional :class:`repro.telemetry.spans.SpanTracer`; when set,
-        #: fresh scorer evaluations record a "score" span (cache hits
-        #: stay untimed, so the span count equals real evaluations).
-        self.tracer = None
+        self._tracer = None
+        self._metrics = None
+
+    # -- telemetry ----------------------------------------------------------
+    @property
+    def tracer(self):
+        """Optional :class:`repro.telemetry.spans.SpanTracer`.
+
+        When set, fresh scorer evaluations record a "score" span (cache
+        hits stay untimed, so the span count equals real evaluations).
+        Scorers that time internal phases (the incremental scorer's
+        "neighborlist-rebuild") receive the same tracer.
+        """
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        self._tracer = value
+        if hasattr(self.scorer, "tracer"):
+            self.scorer.tracer = value
+
+    @property
+    def metrics(self):
+        """Optional :class:`repro.telemetry.metrics.MetricsRegistry`.
+
+        Forwarded to scorers that publish counters/gauges (the
+        incremental scorer's ``scoring/neighborlist_rebuilds`` and
+        ``scoring/active_pairs``).
+        """
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, value) -> None:
+        self._metrics = value
+        if hasattr(self.scorer, "metrics"):
+            self.scorer.metrics = value
 
     # -- action space -------------------------------------------------------
     @property

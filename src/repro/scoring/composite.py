@@ -49,11 +49,81 @@ class ScoreBreakdown:
         return -self.energy
 
 
+@dataclass(frozen=True)
+class ScoringTables:
+    """Static-topology scoring tables for one (receptor, ligand) pair.
+
+    Everything here depends only on topology — charges, LJ types, H-bond
+    roles, receptor geometry — never on the ligand pose, so callers that
+    score many poses (``ExactScorer``, the pose-batch path) build the
+    tables once and pass them back in.  Results are **bit-identical** to
+    the rebuild-every-call path: the cached arrays are the same floats
+    the per-call code would recompute.
+    """
+
+    mask: np.ndarray  # (n, m) H-bond eligibility
+    rows: np.ndarray  # (n,) receptor rows with any eligible pair
+    rows_any: bool
+    sig_full: np.ndarray  # (n, m) combined LJ sigma
+    eps_full: np.ndarray  # (n, m) combined LJ epsilon
+    # H-bond row-restricted views (empty when rows_any is False):
+    rec_sub: np.ndarray  # (n_hb, 3) receptor coords on eligible rows
+    dirs_sub: np.ndarray  # (n_hb, 3) donor directions on eligible rows
+    mask_sub: np.ndarray  # (n_hb, m)
+    sig_sub: np.ndarray  # (n_hb, m)
+    eps_sub: np.ndarray  # (n_hb, m)
+
+    @staticmethod
+    def build(receptor: Molecule, ligand: Molecule) -> "ScoringTables":
+        mask = hb.eligible_pairs_mask(
+            receptor.hbond_donor,
+            receptor.hbond_acceptor,
+            ligand.hbond_donor,
+            ligand.hbond_acceptor,
+        )
+        rows = mask.any(axis=1)
+        rows_any = bool(rows.any())
+        sig_full, eps_full = lj.combine_lj(
+            receptor.sigma, receptor.epsilon, ligand.sigma, ligand.epsilon
+        )
+        if rows_any:
+            dirs_sub = direction_vectors(receptor.coords, receptor.bonds)[
+                rows
+            ]
+            sig_sub, eps_sub = lj.combine_lj(
+                receptor.sigma[rows],
+                receptor.epsilon[rows],
+                ligand.sigma,
+                ligand.epsilon,
+            )
+            rec_sub = receptor.coords[rows]
+            mask_sub = mask[rows]
+        else:
+            rec_sub = np.empty((0, 3))
+            dirs_sub = np.empty((0, 3))
+            mask_sub = np.empty((0, ligand.n_atoms), dtype=bool)
+            sig_sub = np.empty((0, ligand.n_atoms))
+            eps_sub = np.empty((0, ligand.n_atoms))
+        return ScoringTables(
+            mask=mask,
+            rows=rows,
+            rows_any=rows_any,
+            sig_full=sig_full,
+            eps_full=eps_full,
+            rec_sub=rec_sub,
+            dirs_sub=dirs_sub,
+            mask_sub=mask_sub,
+            sig_sub=sig_sub,
+            eps_sub=eps_sub,
+        )
+
+
 def interaction_breakdown(
     receptor: Molecule,
     ligand: Molecule,
     *,
     distance_dependent_dielectric: bool = False,
+    tables: ScoringTables | None = None,
 ) -> ScoreBreakdown:
     """Full Eq. 1 evaluation with per-term breakdown.
 
@@ -61,7 +131,14 @@ def interaction_breakdown(
     topology (donor directions), matching the matrix layout receptor x
     ligand; ligand-side donors are handled by the eligibility mask, which
     is symmetric in donor/acceptor roles.
+
+    ``tables`` optionally supplies the static-topology arrays
+    (:meth:`ScoringTables.build`); omitted, they are rebuilt for this
+    call with identical results.
     """
+    t = tables if tables is not None else ScoringTables.build(
+        receptor, ligand
+    )
     d = pairwise_distances(receptor.coords, ligand.coords)
     e_el = elec.electrostatic_energy(
         receptor.charges,
@@ -69,32 +146,16 @@ def interaction_breakdown(
         d,
         distance_dependent=distance_dependent_dielectric,
     )
-    e_lj = lj.lennard_jones_energy(
-        receptor.sigma, receptor.epsilon, ligand.sigma, ligand.epsilon, d
-    )
-    mask = hb.eligible_pairs_mask(
-        receptor.hbond_donor,
-        receptor.hbond_acceptor,
-        ligand.hbond_donor,
-        ligand.hbond_acceptor,
-    )
-    rows = mask.any(axis=1)
-    if rows.any():
+    e_lj = lj.lennard_jones_energy_pre(t.sig_full, t.eps_full, d)
+    if t.rows_any:
         # Only a small fraction of receptor atoms are donors/acceptors;
         # restricting the angular computation to their rows cuts the
         # H-bond cost by that fraction with identical results.
-        dirs = direction_vectors(receptor.coords, receptor.bonds)[rows]
         cos_t, sin_t = hb.hbond_angle_factors(
-            receptor.coords[rows], ligand.coords, dirs
-        )
-        sig_pair, eps_pair = lj.combine_lj(
-            receptor.sigma[rows],
-            receptor.epsilon[rows],
-            ligand.sigma,
-            ligand.epsilon,
+            t.rec_sub, ligand.coords, t.dirs_sub
         )
         e_hb = hb.hbond_energy(
-            d[rows], mask[rows], cos_t, sin_t, sig_pair, eps_pair
+            d[t.rows], t.mask_sub, cos_t, sin_t, t.sig_sub, t.eps_sub
         )
     else:
         e_hb = 0.0
@@ -120,6 +181,7 @@ def score_pose_batch(
     *,
     include_hbond: bool = True,
     chunk: int = 16,
+    tables: ScoringTables | None = None,
 ) -> np.ndarray:
     """Scores for ``k`` ligand coordinate sets against one receptor.
 
@@ -127,7 +189,8 @@ def score_pose_batch(
     (chunk, n, m) temporaries stay cache-resident; a sweep on an 800-atom
     receptor put the optimum near chunk=16 (larger chunks thrash L2,
     smaller ones pay per-call overhead).  Returns shape (k,) scores
-    (higher = better).
+    (higher = better).  ``tables`` optionally supplies the cached
+    static-topology arrays (identical results either way).
     """
     cb = np.asarray(coords_batch, dtype=float)
     if cb.ndim != 3 or cb.shape[1:] != (ligand.n_atoms, 3):
@@ -136,46 +199,26 @@ def score_pose_batch(
         )
     k = cb.shape[0]
     out = np.empty(k)
-    mask = hb.eligible_pairs_mask(
-        receptor.hbond_donor,
-        receptor.hbond_acceptor,
-        ligand.hbond_donor,
-        ligand.hbond_acceptor,
+    t = tables if tables is not None else ScoringTables.build(
+        receptor, ligand
     )
-    rows = mask.any(axis=1)
-    use_hb = include_hbond and bool(rows.any())
-    if use_hb:
-        rec_sub = receptor.coords[rows]
-        dirs = direction_vectors(receptor.coords, receptor.bonds)[rows]
-        sig_sub, eps_sub = lj.combine_lj(
-            receptor.sigma[rows],
-            receptor.epsilon[rows],
-            ligand.sigma,
-            ligand.epsilon,
-        )
-        mask_sub = mask[rows]
+    use_hb = include_hbond and t.rows_any
     for start in range(0, k, chunk):
         stop = min(start + chunk, k)
         d = pairwise_distances_batch(receptor.coords, cb[start:stop])
         e = elec.electrostatic_energy_batch(
             receptor.charges, ligand.charges, d
         )
-        e += lj.lennard_jones_energy_batch(
-            receptor.sigma,
-            receptor.epsilon,
-            ligand.sigma,
-            ligand.epsilon,
-            d,
-        )
+        e += lj.lennard_jones_energy_batch_pre(t.sig_full, t.eps_full, d)
         if use_hb:
             cos_t, sin_t = hb.hbond_angle_factors_batch(
-                rec_sub, cb[start:stop], dirs
+                t.rec_sub, cb[start:stop], t.dirs_sub
             )
             # hbond_energy_matrix is elementwise: broadcasting the pair
             # parameters across the (chunk, rows, m) batch is exact.
             corr = hb.hbond_energy_matrix(
-                d[:, rows, :], mask_sub[None, :, :], cos_t, sin_t,
-                sig_sub[None, :, :], eps_sub[None, :, :],
+                d[:, t.rows, :], t.mask_sub[None, :, :], cos_t, sin_t,
+                t.sig_sub[None, :, :], t.eps_sub[None, :, :],
             )
             e += corr.sum(axis=(1, 2))
         out[start:stop] = -e

@@ -121,6 +121,38 @@ class PotentialGrid:
         e_disp = float((self._trilinear(self.disp6, pts) * w6).sum())
         return -(e_el + e_rep - e_disp)
 
+    def score_batch(
+        self, ligand: Molecule, coords_batch: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`score` over (k, m, 3) poses -> (k,) scores.
+
+        All k*m atoms are interpolated in one ``_trilinear`` call per
+        field; per-pose sums then run over the same per-atom values the
+        single-pose path produces, so each entry is bit-identical to
+        ``score(ligand, coords_batch[i])``.
+        """
+        cb = np.asarray(coords_batch, dtype=float)
+        if cb.ndim != 3 or cb.shape[1:] != (ligand.n_atoms, 3):
+            raise ValueError(
+                f"coords_batch must have shape (k, {ligand.n_atoms}, 3)"
+            )
+        k, m, _ = cb.shape
+        if k == 0:
+            return np.empty(0)
+        pts = cb.reshape(-1, 3)
+        e_el = (
+            self._trilinear(self.phi, pts).reshape(k, m) * ligand.charges
+        ).sum(axis=1)
+        w12 = 4.0 * np.sqrt(ligand.epsilon) * ligand.sigma**6
+        w6 = 4.0 * np.sqrt(ligand.epsilon) * ligand.sigma**3
+        e_rep = (
+            self._trilinear(self.disp12, pts).reshape(k, m) * w12
+        ).sum(axis=1)
+        e_disp = (
+            self._trilinear(self.disp6, pts).reshape(k, m) * w6
+        ).sum(axis=1)
+        return -(e_el + e_rep - e_disp)
+
     def nbytes(self) -> int:
         """Total grid storage in bytes."""
         return self.phi.nbytes + self.disp6.nbytes + self.disp12.nbytes

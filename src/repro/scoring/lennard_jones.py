@@ -40,6 +40,40 @@ def lennard_jones_energy(
     )
 
 
+def lennard_jones_energy_pre(
+    sigma_pair: np.ndarray,
+    eps_pair: np.ndarray,
+    distances: np.ndarray,
+) -> float:
+    """Total 12-6 energy from *pre-combined* (n, m) pair parameters.
+
+    Arithmetic replicates :func:`lennard_jones_energy_matrix` exactly, so
+    callers that cache the static ``combine_lj`` matrices (the receptor
+    and ligand topologies never change within a run) get bit-identical
+    energies while skipping the per-call combination.
+    """
+    x = sigma_pair / distances
+    x6 = x * x * x
+    x6 *= x6
+    return float((4.0 * eps_pair * (x6 * x6 - x6)).sum())
+
+
+def lennard_jones_energy_batch_pre(
+    sigma_pair: np.ndarray,
+    eps_pair: np.ndarray,
+    distances_batch: np.ndarray,
+) -> np.ndarray:
+    """Batched totals from pre-combined pair parameters -> (k,).
+
+    Bit-identical to :func:`lennard_jones_energy_batch` (same ops on the
+    same floats, minus the redundant ``combine_lj``).
+    """
+    x = sigma_pair[None, :, :] / distances_batch
+    x6 = x * x * x
+    x6 *= x6
+    return (4.0 * eps_pair[None, :, :] * (x6 * x6 - x6)).sum(axis=(1, 2))
+
+
 def lennard_jones_energy_matrix(
     sigma_a: np.ndarray,
     eps_a: np.ndarray,

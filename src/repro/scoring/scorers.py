@@ -23,10 +23,13 @@ import numpy as np
 from repro.chem.molecule import Molecule
 from repro.constants import COULOMB_CONSTANT, DEFAULT_CUTOFF, MIN_DISTANCE
 from repro.scoring import hbond as hb
-from repro.scoring import lennard_jones as lj
-from repro.scoring.composite import interaction_score, score_pose_batch
+from repro.scoring.composite import (
+    ScoringTables,
+    interaction_breakdown,
+    score_pose_batch,
+)
 from repro.scoring.grid import PotentialGrid
-from repro.scoring.neighborlist import CellList, cutoff_pairs
+from repro.scoring.neighborlist import CellList, query_pairs
 from repro.scoring.pairwise import direction_vectors
 
 
@@ -39,19 +42,31 @@ class PoseScorer(Protocol):
 
 
 class ExactScorer:
-    """Full Eq. 1 over all receptor x ligand pairs."""
+    """Full Eq. 1 over all receptor x ligand pairs.
+
+    The static-topology arrays — H-bond eligibility mask, receptor donor
+    directions, combined LJ matrices — are built **once** here and reused
+    for every ``score``/``score_batch`` call (they depend only on
+    topology, never on the pose).  Results are bit-identical to
+    rebuilding them per call.
+    """
 
     def __init__(self, receptor: Molecule, ligand: Molecule):
         self.receptor = receptor
         self.ligand = ligand
+        self._tables = ScoringTables.build(receptor, ligand)
 
     def score(self, coords: np.ndarray) -> float:
-        return interaction_score(
-            self.receptor, self.ligand.with_coords(coords)
-        )
+        return interaction_breakdown(
+            self.receptor,
+            self.ligand.with_coords(coords),
+            tables=self._tables,
+        ).score
 
     def score_batch(self, coords_batch: np.ndarray) -> np.ndarray:
-        return score_pose_batch(self.receptor, self.ligand, coords_batch)
+        return score_pose_batch(
+            self.receptor, self.ligand, coords_batch, tables=self._tables
+        )
 
 
 class CutoffScorer:
@@ -75,6 +90,7 @@ class CutoffScorer:
         cutoff: float = DEFAULT_CUTOFF,
         *,
         shifted: bool = True,
+        cell_size: float | None = None,
     ):
         if cutoff <= 0:
             raise ValueError("cutoff must be positive")
@@ -82,7 +98,13 @@ class CutoffScorer:
         self.ligand = ligand
         self.cutoff = float(cutoff)
         self.shifted = bool(shifted)
-        self._cells = CellList(receptor.coords, cell_size=cutoff)
+        # Bins of cutoff/2 measured fastest for cutoff-radius queries;
+        # bins equal to the radius degenerate to scanning most of the
+        # receptor (pair membership is identical either way).
+        self._cells = CellList(
+            receptor.coords,
+            cell_size=cutoff / 2.0 if cell_size is None else cell_size,
+        )
         self._dirs = direction_vectors(receptor.coords, receptor.bonds)
         self._mask_full = hb.eligible_pairs_mask(
             receptor.hbond_donor,
@@ -91,52 +113,116 @@ class CutoffScorer:
             ligand.hbond_acceptor,
         )
 
-    def score(self, coords: np.ndarray) -> float:
-        lig = np.asarray(coords, dtype=float)
-        rec_idx, lig_idx = cutoff_pairs(self._cells, lig, self.cutoff)
-        if rec_idx.size == 0:
-            return 0.0
+    def _pair_terms(
+        self, lig_flat: np.ndarray, rec_idx: np.ndarray, lig_idx: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-pair (diff, r, e_el, e_lj) for arbitrary pair index arrays.
+
+        ``lig_flat`` holds the ligand-atom coordinates the pairs index
+        into (one pose's (m, 3), or several poses stacked (k*m, 3)) —
+        all terms are elementwise per pair, so batching poses through
+        one call is exact.
+        """
         rec = self.receptor
         lig_mol = self.ligand
-        diff = lig[lig_idx] - rec.coords[rec_idx]
+        atom = lig_idx % lig_mol.n_atoms  # probe index -> ligand atom
+        diff = lig_flat[lig_idx] - rec.coords[rec_idx]
         r = np.sqrt((diff**2).sum(axis=1))
         np.maximum(r, MIN_DISTANCE, out=r)
         # Electrostatics (optionally energy-shifted at the cutoff).
-        qq = rec.charges[rec_idx] * lig_mol.charges[lig_idx]
+        qq = rec.charges[rec_idx] * lig_mol.charges[atom]
         inv = 1.0 / r
         if self.shifted:
             inv = inv - 1.0 / self.cutoff
-        energy = float((COULOMB_CONSTANT * qq * inv).sum())
+        e_el = COULOMB_CONSTANT * qq * inv
         # Lennard-Jones.
-        sigma = 0.5 * (rec.sigma[rec_idx] + lig_mol.sigma[lig_idx])
-        eps = np.sqrt(rec.epsilon[rec_idx] * lig_mol.epsilon[lig_idx])
+        sigma = 0.5 * (rec.sigma[rec_idx] + lig_mol.sigma[atom])
+        eps = np.sqrt(rec.epsilon[rec_idx] * lig_mol.epsilon[atom])
         x6 = (sigma / r) ** 6
         e_lj = 4.0 * eps * (x6 * x6 - x6)
-        energy += float(e_lj.sum())
+        return diff, r, e_el, e_lj
+
+    def _hbond_correction(
+        self,
+        r_el: np.ndarray,
+        u_el: np.ndarray,
+        dirs_el: np.ndarray,
+        e_lj_el: np.ndarray,
+    ) -> float:
+        """Eq. 1 H-bond correction for pre-selected eligible pairs."""
+        norm = np.maximum(np.linalg.norm(u_el, axis=1), 1e-9)
+        cos = (dirs_el * u_el).sum(axis=1) / norm
+        iso = (np.abs(dirs_el) < 1e-12).all(axis=1)
+        cos[iso] = 1.0
+        np.clip(cos, 0.0, 1.0, out=cos)
+        sin = np.sqrt(np.maximum(0.0, 1.0 - cos * cos))
+        c_hb, d_hb = hb.hbond_coefficients()
+        e_1210 = c_hb / r_el**12 - d_hb / r_el**10
+        return float((cos * e_1210 - (1.0 - sin) * e_lj_el).sum())
+
+    def score(self, coords: np.ndarray) -> float:
+        lig = np.asarray(coords, dtype=float)
+        rec_idx, lig_idx = query_pairs(self._cells, lig, self.cutoff)
+        if rec_idx.size == 0:
+            return 0.0
+        diff, r, e_el, e_lj = self._pair_terms(lig, rec_idx, lig_idx)
+        energy = float(e_el.sum()) + float(e_lj.sum())
         # Hydrogen-bond correction on eligible pairs.
         eligible = self._mask_full[rec_idx, lig_idx]
         if eligible.any():
-            er, el = rec_idx[eligible], lig_idx[eligible]
-            d_el = r[eligible]
-            dirs = self._dirs[er]
-            u = (lig[el] - rec.coords[er])
-            norm = np.maximum(np.linalg.norm(u, axis=1), 1e-9)
-            cos = (dirs * u).sum(axis=1) / norm
-            iso = (np.abs(dirs) < 1e-12).all(axis=1)
-            cos[iso] = 1.0
-            np.clip(cos, 0.0, 1.0, out=cos)
-            sin = np.sqrt(np.maximum(0.0, 1.0 - cos * cos))
-            c_hb, d_hb = hb.hbond_coefficients()
-            e_1210 = c_hb / d_el**12 - d_hb / d_el**10
-            e_lj_sub = e_lj[eligible]
-            energy += float(
-                (cos * e_1210 - (1.0 - sin) * e_lj_sub).sum()
+            energy += self._hbond_correction(
+                r[eligible],
+                diff[eligible],
+                self._dirs[rec_idx[eligible]],
+                e_lj[eligible],
             )
         return -energy
 
     def score_batch(self, coords_batch: np.ndarray) -> np.ndarray:
+        """Vectorized many-pose scoring.
+
+        All poses are stacked into one (k*m, 3) probe set and resolved
+        by a single :func:`query_pairs` call; every per-pair term is
+        then computed in one vectorized pass over the concatenated pair
+        list, with only the per-pose reductions running per pose.
+        Pair order within a pose matches :meth:`score` exactly, so each
+        entry is bit-identical to the single-pose result.
+        """
         cb = np.asarray(coords_batch, dtype=float)
-        return np.array([self.score(c) for c in cb])
+        if cb.ndim != 3 or cb.shape[1:] != (self.ligand.n_atoms, 3):
+            raise ValueError(
+                f"coords_batch must have shape (k, {self.ligand.n_atoms}, 3)"
+            )
+        k, m, _ = cb.shape
+        out = np.zeros(k)
+        if k == 0:
+            return out
+        flat = cb.reshape(-1, 3)
+        rec_idx, probe_idx = query_pairs(self._cells, flat, self.cutoff)
+        if rec_idx.size == 0:
+            return out
+        diff, r, e_el, e_lj = self._pair_terms(flat, rec_idx, probe_idx)
+        lig_atom = probe_idx % m
+        eligible = self._mask_full[rec_idx, lig_atom]
+        # probe_idx is non-decreasing (probe-major query order), so each
+        # pose owns one contiguous slice of the pair arrays.
+        bounds = np.searchsorted(probe_idx, np.arange(0, k * m + 1, m))
+        for i in range(k):
+            s, t = bounds[i], bounds[i + 1]
+            if s == t:
+                continue  # no pairs in range: score 0.0, as in score()
+            energy = float(e_el[s:t].sum()) + float(e_lj[s:t].sum())
+            el = eligible[s:t]
+            if el.any():
+                sl_rec = rec_idx[s:t]
+                energy += self._hbond_correction(
+                    r[s:t][el],
+                    diff[s:t][el],
+                    self._dirs[sl_rec[el]],
+                    e_lj[s:t][el],
+                )
+            out[i] = -energy
+        return out
 
 
 class GridScorer:
@@ -156,8 +242,11 @@ class GridScorer:
         return self.grid.score(self.ligand, coords)
 
     def score_batch(self, coords_batch: np.ndarray) -> np.ndarray:
-        cb = np.asarray(coords_batch, dtype=float)
-        return np.array([self.score(c) for c in cb])
+        return self.grid.score_batch(self.ligand, coords_batch)
+
+
+#: Valid ``make_scorer`` / config ``scoring_method`` strings.
+SCORING_METHODS: tuple[str, ...] = ("exact", "cutoff", "grid", "incremental")
 
 
 def make_scorer(
@@ -173,4 +262,8 @@ def make_scorer(
         return CutoffScorer(receptor, ligand, **kwargs)
     if method == "grid":
         return GridScorer(receptor, ligand, **kwargs)
+    if method == "incremental":
+        from repro.scoring.incremental import IncrementalScorer
+
+        return IncrementalScorer(receptor, ligand, **kwargs)
     raise ValueError(f"unknown scoring method {method!r}")

@@ -244,7 +244,11 @@ def _checkpoint_section(record: RunRecord) -> str:
 
 #: Benchmark artifacts rendered by ``repro inspect`` when dropped into
 #: the run directory (each is a flat JSON object of named numbers).
-BENCH_ARTIFACTS = ("BENCH_train_step.json", "BENCH_vector_env.json")
+BENCH_ARTIFACTS = (
+    "BENCH_train_step.json",
+    "BENCH_vector_env.json",
+    "BENCH_score_step.json",
+)
 
 
 def _bench_section(record: RunRecord) -> str:

@@ -1,0 +1,544 @@
+"""Incremental Verlet-list scorer: equivalence, rebuild cadence, plumbing.
+
+The load-bearing properties (see ``repro/scoring/incremental.py``):
+
+- trajectory equivalence with the cutoff reference *across rebuild
+  boundaries* to the documented :data:`DRIFT_REL_BOUND`;
+- bit-stable cache independence — a warm scorer and a fresh scorer
+  agree bitwise at every pose (checkpoint safety: the pair list is
+  derived state);
+- rebuilds happen exactly when the max ligand displacement since the
+  last build exceeds skin/2;
+- end-to-end wiring: factory, config, envs, CLI, telemetry, and
+  interrupt/resume through the figure4 trainer stack.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import ci_scale_config
+from repro.env.docking_env import DockingEnv, make_env
+from repro.env.flexible_env import make_flexible_env
+from repro.metadock.engine import MetadockEngine
+from repro.scoring.incremental import (
+    ACTIVE_PAIRS_METRIC,
+    DEFAULT_SKIN,
+    DRIFT_REL_BOUND,
+    REBUILDS_METRIC,
+    IncrementalScorer,
+)
+from repro.scoring.neighborlist import CellList, query_pairs
+from repro.scoring.scorers import (
+    SCORING_METHODS,
+    CutoffScorer,
+    ExactScorer,
+    GridScorer,
+    make_scorer,
+)
+
+
+@pytest.fixture(scope="module")
+def pair(small_complex):
+    lig = small_complex.ligand_crystal
+    template = lig.with_coords(lig.coords - lig.centroid())
+    return small_complex.receptor, template, lig.coords
+
+
+def _fresh(rec, template, **kw) -> IncrementalScorer:
+    kw.setdefault("cutoff", 10.0)
+    kw.setdefault("skin", 2.0)
+    return IncrementalScorer(rec, template, **kw)
+
+
+# ---------------------------------------------------------------------------
+# vectorized multi-center query
+
+
+class TestQueryPairs:
+    def test_matches_brute_force(self, rng):
+        for _ in range(25):
+            n = int(rng.integers(0, 120))
+            pts = rng.normal(size=(n, 3)) * rng.uniform(1.0, 8.0)
+            cl = CellList(pts, cell_size=float(rng.uniform(0.5, 5.0)))
+            k = int(rng.integers(0, 6))
+            probes = rng.normal(size=(k, 3)) * rng.uniform(1.0, 10.0)
+            r = float(rng.uniform(0.3, 12.0))
+            s_idx, p_idx = query_pairs(cl, probes, r)
+            got = set(zip(s_idx.tolist(), p_idx.tolist()))
+            want = {
+                (int(i), kk)
+                for kk in range(k)
+                for i in np.nonzero(
+                    ((pts - probes[kk]) ** 2).sum(axis=1) <= r * r
+                )[0]
+            }
+            assert got == want
+
+    def test_probe_major_canonical_order(self, rng):
+        pts = rng.normal(size=(80, 3)) * 5.0
+        cl = CellList(pts, cell_size=2.0)
+        probes = rng.normal(size=(5, 3)) * 4.0
+        _, p_idx = query_pairs(cl, probes, 6.0)
+        assert (np.diff(p_idx) >= 0).all()
+
+    def test_order_independent_of_other_probes(self, rng):
+        # The per-probe pair sequence must not depend on which other
+        # probes ride along in the same call (the canonical-order
+        # property the incremental scorer's bit-stability rests on).
+        pts = rng.normal(size=(60, 3)) * 5.0
+        cl = CellList(pts, cell_size=2.0)
+        probes = rng.normal(size=(4, 3)) * 4.0
+        s_all, p_all = query_pairs(cl, probes, 6.0)
+        for k in range(4):
+            s_one, _ = query_pairs(cl, probes[k : k + 1], 6.0)
+            assert np.array_equal(s_all[p_all == k], s_one)
+
+    def test_empty_inputs(self):
+        cl = CellList(np.zeros((0, 3)), cell_size=1.0)
+        s, p = query_pairs(cl, np.zeros((2, 3)), 1.0)
+        assert s.size == 0 and p.size == 0
+        cl2 = CellList(np.zeros((3, 3)), cell_size=1.0)
+        s, p = query_pairs(cl2, np.zeros((0, 3)), 1.0)
+        assert s.size == 0 and p.size == 0
+
+
+# ---------------------------------------------------------------------------
+# trajectory equivalence across rebuild boundaries
+
+
+class TestTrajectoryEquivalence:
+    def _walk(self, rec, template, coords, moves, tol=DRIFT_REL_BOUND):
+        """Score a pose sequence with incremental vs cutoff reference."""
+        inc = _fresh(rec, template)
+        ref = CutoffScorer(rec, template, cutoff=10.0)
+        pose = coords.copy()
+        worst = 0.0
+        for mv in moves:
+            pose = mv(pose)
+            si, sc = inc.score(pose), ref.score(pose)
+            worst = max(worst, abs(si - sc) / max(1.0, abs(sc)))
+        assert worst <= tol, worst
+        return inc
+
+    def test_long_shift_run_crosses_rebuilds(self, pair, rng):
+        rec, template, coords = pair
+        moves = []
+        for _ in range(80):
+            step = rng.normal(size=3)
+            step /= np.linalg.norm(step)
+            moves.append(lambda p, s=step: p + 0.8 * s)
+        inc = self._walk(rec, template, coords, moves)
+        # 80 x 0.8 A steps against a 2 A skin must re-list many times.
+        assert inc.rebuild_count >= 5
+
+    def test_rotation_only_trajectory(self, pair, rng):
+        rec, template, coords = pair
+
+        def rot(p, axis, ang):
+            axis = axis / np.linalg.norm(axis)
+            c, s = np.cos(ang), np.sin(ang)
+            centroid = p.mean(axis=0)
+            rel = p - centroid
+            return (
+                centroid
+                + rel * c
+                + np.cross(axis, rel) * s
+                + np.outer(rel @ axis, axis) * (1 - c)
+            )
+
+        moves = [
+            (lambda p, a=rng.normal(size=3): rot(p, a, np.radians(4.0)))
+            for _ in range(60)
+        ]
+        self._walk(rec, template, coords, moves)
+
+    def test_torsion_actions_via_flex_engine(self, small_complex):
+        eng = MetadockEngine(
+            small_complex,
+            shift_length=0.8,
+            rotation_angle_deg=5.0,
+            n_torsions=2,
+            scoring_method="incremental",
+            scoring_kwargs={"cutoff": 10.0, "skin": 2.0},
+        )
+        ref = CutoffScorer(eng.receptor, eng.template, cutoff=10.0)
+        rng = np.random.default_rng(5)
+        for _ in range(50):
+            eng.apply_action(int(rng.integers(0, eng.n_actions)))
+            si = eng.score()
+            sc = ref.score(eng.ligand_coords())
+            assert abs(si - sc) <= DRIFT_REL_BOUND * max(1.0, abs(sc))
+
+    def test_env_episode_with_sphere_exit(self, small_complex):
+        # Drive a real DockingEnv on the incremental scorer straight out
+        # of the escape sphere; per-step scores must track the cutoff
+        # reference the whole way and the episode must terminate.
+        eng = MetadockEngine(
+            small_complex,
+            shift_length=0.8,
+            rotation_angle_deg=5.0,
+            scoring_method="incremental",
+            scoring_kwargs={"cutoff": 10.0, "skin": 2.0},
+        )
+        env = DockingEnv(eng)
+        ref = CutoffScorer(eng.receptor, eng.template, cutoff=10.0)
+        env.reset()
+        done = False
+        for _ in range(200):
+            _, _, done, info = env.step(0)  # march along +x
+            sc = ref.score(eng.ligand_coords())
+            assert abs(info["score"] - sc) <= DRIFT_REL_BOUND * max(
+                1.0, abs(sc)
+            )
+            if done:
+                break
+        assert done and info["termination"] == "escape"
+        assert eng.scorer.rebuild_count >= 2
+
+    def test_converges_to_exact_with_cutoff(self, pair):
+        rec, template, coords = pair
+        exact = ExactScorer(rec, template).score(coords)
+        full = IncrementalScorer(
+            rec, template, cutoff=1000.0, skin=2.0, shifted=False
+        ).score(coords)
+        assert full == pytest.approx(exact, rel=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# bit-stability: the cache is derived state
+
+
+class TestCacheIndependence:
+    def test_warm_equals_fresh_bitwise(self, pair, rng):
+        rec, template, coords = pair
+        warm = _fresh(rec, template)
+        pose = coords.copy()
+        for _ in range(40):
+            pose = pose + rng.normal(scale=0.35, size=pose.shape)
+            a = warm.score(pose)
+            b = _fresh(rec, template).score(pose)
+            assert a == b  # bitwise, not approx
+
+    def test_mid_skin_pose_bitwise(self, pair):
+        # A pose strictly inside the skin (no rebuild on the warm
+        # scorer, immediate build on the fresh one) is the adversarial
+        # case: the two scorers reduce over lists built at different
+        # centers.
+        rec, template, coords = pair
+        warm = _fresh(rec, template)
+        warm.score(coords)
+        drifted = coords + 0.3  # < skin/2 = 1.0
+        before = warm.rebuild_count
+        a = warm.score(drifted)
+        assert warm.rebuild_count == before  # served from cache
+        assert a == _fresh(rec, template).score(drifted)
+
+    def test_score_batch_matches_singles(self, pair, rng):
+        rec, template, coords = pair
+        batch = coords[None] + rng.normal(scale=0.8, size=(6, 1, 3))
+        a = _fresh(rec, template).score_batch(batch)
+        b = np.array(
+            [_fresh(rec, template).score(c) for c in batch]
+        )
+        assert np.array_equal(a, b)
+
+    def test_zero_pairs_scores_zero(self, pair):
+        rec, template, coords = pair
+        inc = _fresh(rec, template)
+        assert inc.score(coords + 500.0) == 0.0
+        assert inc.active_pairs == 0
+
+
+# ---------------------------------------------------------------------------
+# rebuild cadence (skin semantics)
+
+
+class TestRebuildCadence:
+    def test_no_rebuild_inside_half_skin(self, pair):
+        rec, template, coords = pair
+        inc = _fresh(rec, template)  # skin 2.0 -> budget 1.0
+        inc.score(coords)
+        assert inc.rebuild_count == 1
+        inc.score(coords + [0.9, 0.0, 0.0])
+        inc.score(coords + [0.0, -0.9, 0.0])  # displacement from ref
+        assert inc.rebuild_count == 1
+
+    def test_rebuild_beyond_half_skin(self, pair):
+        rec, template, coords = pair
+        inc = _fresh(rec, template)
+        inc.score(coords)
+        inc.score(coords + [1.1, 0.0, 0.0])
+        assert inc.rebuild_count == 2
+
+    def test_single_atom_displacement_triggers(self, pair):
+        # The budget is per-atom max displacement, not the centroid's.
+        rec, template, coords = pair
+        inc = _fresh(rec, template)
+        inc.score(coords)
+        moved = coords.copy()
+        moved[0] += [0.0, 0.0, 1.2]
+        inc.score(moved)
+        assert inc.rebuild_count == 2
+
+    def test_validation(self, pair):
+        rec, template, coords = pair
+        with pytest.raises(ValueError, match="cutoff"):
+            IncrementalScorer(rec, template, cutoff=0.0)
+        with pytest.raises(ValueError, match="skin"):
+            IncrementalScorer(rec, template, skin=-1.0)
+        inc = _fresh(rec, template)
+        with pytest.raises(ValueError, match="shape"):
+            inc.score(coords[:3])
+        with pytest.raises(ValueError, match="coords_batch"):
+            inc.score_batch(coords)
+
+
+# ---------------------------------------------------------------------------
+# factory / config / env / CLI plumbing
+
+
+class TestPlumbing:
+    def test_factory(self, pair):
+        rec, template, _ = pair
+        s = make_scorer("incremental", rec, template, cutoff=9.0, skin=1.5)
+        assert isinstance(s, IncrementalScorer)
+        assert s.cutoff == 9.0 and s.skin == 1.5
+        assert "incremental" in SCORING_METHODS
+
+    def test_config_validates_against_factory_methods(self):
+        # The config keeps a literal copy of SCORING_METHODS (import
+        # cycle); this pins the two sets together.
+        for method in SCORING_METHODS:
+            ci_scale_config(episodes=1, scoring_method=method)
+        with pytest.raises(ValueError, match="scoring_method"):
+            ci_scale_config(episodes=1, scoring_method="verlet")
+
+    def test_make_env_wires_scorer(self, small_complex):
+        cfg = ci_scale_config(
+            episodes=1,
+            scoring_method="incremental",
+            scoring_kwargs={"cutoff": 9.0},
+        )
+        env = make_env(cfg, small_complex)
+        assert isinstance(env.engine.scorer, IncrementalScorer)
+        assert env.engine.scorer.cutoff == 9.0
+        assert env.engine.scorer.skin == DEFAULT_SKIN
+
+    def test_make_flexible_env_wires_scorer(self, small_complex):
+        cfg = ci_scale_config(episodes=1, scoring_method="incremental")
+        env = make_flexible_env(cfg, small_complex)
+        assert isinstance(env.engine.scorer, IncrementalScorer)
+
+    def test_config_roundtrips_through_manifest_dict(self):
+        from repro.config import config_from_dict
+
+        cfg = ci_scale_config(
+            episodes=2,
+            scoring_method="incremental",
+            scoring_kwargs={"skin": 4.0},
+        )
+        back = config_from_dict(dataclasses.asdict(cfg))
+        assert back.scoring_method == "incremental"
+        assert back.scoring_kwargs == {"skin": 4.0}
+
+    def test_cli_accepts_scoring_method(self):
+        from repro.cli import build_parser
+
+        p = build_parser()
+        args = p.parse_args(
+            ["figure4", "--scoring-method", "incremental"]
+        )
+        assert args.scoring_method == "incremental"
+        args = p.parse_args(
+            ["curriculum", "--scoring-method", "cutoff"]
+        )
+        assert args.scoring_method == "cutoff"
+        with pytest.raises(SystemExit):
+            p.parse_args(["figure4", "--scoring-method", "verlet"])
+
+
+# ---------------------------------------------------------------------------
+# telemetry
+
+
+class TestTelemetry:
+    def test_counter_gauge_and_span(self, small_complex):
+        from repro.telemetry.metrics import MetricsRegistry
+        from repro.telemetry.spans import SpanTracer
+
+        eng = MetadockEngine(
+            small_complex,
+            shift_length=0.8,
+            scoring_method="incremental",
+            scoring_kwargs={"cutoff": 10.0, "skin": 2.0},
+        )
+        reg, tr = MetricsRegistry(), SpanTracer()
+        eng.metrics = reg
+        eng.tracer = tr
+        assert eng.scorer.metrics is reg and eng.scorer.tracer is tr
+        rng = np.random.default_rng(3)
+        eng.reset(observe=False)
+        for _ in range(30):
+            eng.apply_action(int(rng.integers(0, 12)))
+            eng.score()
+        assert eng.scorer.rebuild_count >= 1
+        assert (
+            reg.get(REBUILDS_METRIC).value == eng.scorer.rebuild_count
+        )
+        assert reg.get(ACTIVE_PAIRS_METRIC).value == eng.scorer.active_pairs
+        report = str(tr.report())
+        assert "neighborlist-rebuild" in report
+
+    def test_exact_scorer_ignores_telemetry_hooks(self, small_complex):
+        # Setting engine telemetry with a scorer that has no hooks is a
+        # silent no-op (the hasattr guard), not an error.
+        eng = MetadockEngine(small_complex, scoring_method="exact")
+        eng.metrics = object()
+        eng.tracer = None
+        assert eng.metrics is not None
+
+
+# ---------------------------------------------------------------------------
+# satellite exact-equality pins
+
+
+class TestSatelliteEquality:
+    def test_exact_scorer_cached_tables_bitwise(self, pair, rng):
+        from repro.scoring.composite import (
+            interaction_score,
+            score_pose_batch,
+        )
+
+        rec, template, coords = pair
+        scorer = ExactScorer(rec, template)
+        for _ in range(5):
+            pose = coords + rng.normal(scale=1.0, size=coords.shape)
+            assert scorer.score(pose) == interaction_score(
+                rec, template.with_coords(pose)
+            )
+        batch = coords[None] + rng.normal(scale=1.0, size=(4, 1, 3))
+        assert np.array_equal(
+            scorer.score_batch(batch),
+            score_pose_batch(rec, template, batch),
+        )
+
+    def test_cutoff_batch_bitwise(self, pair, rng):
+        rec, template, coords = pair
+        scorer = CutoffScorer(rec, template, cutoff=10.0)
+        batch = np.concatenate(
+            [
+                coords[None] + rng.normal(scale=1.0, size=(4, 1, 3)),
+                coords[None] + 500.0,  # zero-pair pose mixed in
+            ]
+        )
+        singles = np.array([scorer.score(c) for c in batch])
+        assert np.array_equal(scorer.score_batch(batch), singles)
+
+    def test_grid_batch_bitwise(self, pair, rng):
+        rec, template, coords = pair
+        scorer = GridScorer(rec, template)
+        batch = coords[None] + rng.normal(scale=1.0, size=(5, 1, 3))
+        singles = np.array([scorer.score(c) for c in batch])
+        assert np.array_equal(scorer.score_batch(batch), singles)
+
+    def test_batch_shape_validation(self, pair):
+        rec, template, coords = pair
+        for scorer in (
+            CutoffScorer(rec, template, cutoff=10.0),
+            GridScorer(rec, template),
+        ):
+            with pytest.raises(ValueError, match="coords_batch"):
+                scorer.score_batch(coords)
+
+
+# ---------------------------------------------------------------------------
+# interrupt/resume bit-stability through the trainer stack
+
+
+class TestIncrementalResume:
+    def test_interrupt_resume_bit_exact(self, tmp_path):
+        from repro.experiments.figure4 import build_agent_for_env
+        from repro.rl.trainer import Trainer
+        from repro.runtime import (
+            RunInterrupted,
+            RunLoop,
+            RuntimeContext,
+            ShutdownGuard,
+        )
+
+        cfg = ci_scale_config(
+            episodes=5,
+            seed=3,
+            max_steps=12,
+            scoring_method="incremental",
+            scoring_kwargs={"cutoff": 10.0, "skin": 2.0},
+        )
+
+        def make_trainer(on_episode_end=None):
+            env = make_env(cfg)
+            agent = build_agent_for_env(cfg, env)
+            return env, agent, Trainer(
+                env,
+                agent,
+                episodes=cfg.episodes,
+                max_steps_per_episode=cfg.max_steps_per_episode,
+                learning_start=cfg.learning_start,
+                target_update_steps=cfg.target_update_steps,
+                train_interval=cfg.train_interval,
+                on_episode_end=on_episode_end,
+            )
+
+        rt_a = RuntimeContext(tmp_path / "a", checkpoint_every=2)
+        env, agent_a, trainer = make_trainer()
+        hist_a = RunLoop(rt_a, phase="t").run_episodes(trainer)
+        env.close()
+
+        guard = ShutdownGuard()
+
+        def on_end(stats):
+            if stats.episode == 2:
+                guard.request_stop()
+
+        rt_b = RuntimeContext(
+            tmp_path / "b", checkpoint_every=2, guard=guard
+        )
+        env, _, trainer_b = make_trainer(on_episode_end=on_end)
+        with pytest.raises(RunInterrupted):
+            RunLoop(rt_b, phase="t").run_episodes(trainer_b)
+        env.close()
+
+        # Resume in a fresh stack: the scorer starts with a cold Verlet
+        # cache, which must not perturb a single float.
+        rt_c = RuntimeContext(tmp_path / "b", checkpoint_every=2)
+        env, agent_c, trainer_c = make_trainer()
+        hist_b = RunLoop(rt_c, phase="t").run_episodes(trainer_c)
+        env.close()
+
+        assert hist_a.total_steps == hist_b.total_steps
+        assert len(hist_a.episodes) == len(hist_b.episodes)
+        for ea, eb in zip(hist_a.episodes, hist_b.episodes):
+            da, db = dataclasses.asdict(ea), dataclasses.asdict(eb)
+            assert set(da) == set(db)
+            for k in da:
+                va, vb = da[k], db[k]
+                if isinstance(va, float) and va != va:
+                    assert vb != vb, (k, va, vb)
+                else:
+                    assert va == vb, (k, va, vb)
+        sa, sc = agent_a.state_dict(), agent_c.state_dict()
+
+        def deep_equal(a, b):
+            if isinstance(a, dict):
+                assert set(a) == set(b)
+                for k in a:
+                    deep_equal(a[k], b[k])
+            elif isinstance(a, np.ndarray):
+                assert np.array_equal(a, b, equal_nan=True)
+            else:
+                assert a == b or (a != a and b != b)
+
+        deep_equal(sa, sc)

@@ -161,6 +161,23 @@ class TestRenderSummary:
         assert "3.957" in out
         assert "440,534,748" in out
 
+    def test_score_step_artifact_rendered(self, tmp_path):
+        # The scoring bench's artifact is registered in BENCH_ARTIFACTS
+        # and rendered like the others.
+        d = make_golden_run(tmp_path)
+        payload = {
+            "incremental_steps_per_second": 1055.3,
+            "speedup_incremental_vs_exact": 8.9,
+            "rebuild_rate": 0.166,
+        }
+        (d / "BENCH_score_step.json").write_text(
+            json.dumps(payload) + "\n"
+        )
+        out = render_summary(d)
+        assert "BENCH_score_step.json" in out
+        assert "speedup_incremental_vs_exact" in out
+        assert "8.9" in out
+
     def test_unreadable_bench_artifact_noted(self, tmp_path):
         d = make_golden_run(tmp_path)
         (d / "BENCH_vector_env.json").write_text("{not json")
