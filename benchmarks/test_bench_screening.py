@@ -1,0 +1,134 @@
+"""Bench: the sharded virtual-screening service at full 2BSM scale.
+
+Screens a small synthetic library against the 3,264-atom receptor with
+the incremental (Verlet-list) scorer and measures:
+
+- serial (``workers=1``) and sharded (``workers=2``) ligands/min;
+- the serial-vs-sharded speedup (asserted >= ``SPEEDUP_BOUND`` when the
+  runner actually has >= 2 cores; on starved single-core runners the
+  artifact records ``core_starved: true`` instead -- the vector-env
+  bench precedent);
+- ranking identity: sharded and serial runs must produce the identical
+  ranking (bit-equal scores, same order);
+- resume identity: an interrupted-then-resumed screen must reproduce
+  the uninterrupted ranking bit-for-bit.
+
+Writes ``BENCH_screening.json`` for the CI screening-bench job (the
+artifact renders in ``repro inspect`` when dropped into a run dir).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.metadock.library import generate_library
+from repro.runtime.loop import RunInterrupted, RuntimeContext
+from repro.screening import ScreeningConfig, run_screening
+
+#: Artifact path (repo root under plain pytest; override via env).
+ARTIFACT = Path(
+    os.environ.get("BENCH_SCREENING_JSON", "BENCH_screening.json")
+)
+
+N_LIGANDS = 6
+BUDGET = 240
+SEED = 2018
+#: Required sharded (workers=2) over serial throughput on multi-core
+#: runners.  Two workers on independent shards should approach 2x; 1.5x
+#: leaves headroom for pool startup and the receptor pickle.
+SPEEDUP_BOUND = 1.5
+
+
+def _config(workers: int, shard_size: int = 1) -> ScreeningConfig:
+    return ScreeningConfig(
+        strategy="random",
+        budget=BUDGET,
+        seed=SEED,
+        workers=workers,
+        shard_size=shard_size,
+        scoring_method="incremental",
+    )
+
+
+class _InterruptAfterFirstMemo:
+    """Stop once results.json exists: after the first memoized shard."""
+
+    def __init__(self, results_path: Path):
+        self.results_path = results_path
+
+    @property
+    def stop_requested(self) -> bool:
+        return self.results_path.exists()
+
+
+def test_bench_screening(paper_complex, tmp_path):
+    library = generate_library(
+        paper_complex.config, N_LIGANDS, seed=SEED
+    )
+
+    t0 = time.perf_counter()
+    serial = run_screening(paper_complex, library, _config(workers=1))
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sharded = run_screening(paper_complex, library, _config(workers=2))
+    sharded_s = time.perf_counter() - t0
+
+    # Ranking identity: scores bit-equal, order identical.
+    assert sharded.hits == serial.hits
+
+    # Interrupt after the first shard, resume, compare bit-for-bit.
+    run_dir = tmp_path / "interrupted"
+    guard = _InterruptAfterFirstMemo(run_dir / "results.json")
+    with pytest.raises(RunInterrupted):
+        run_screening(
+            paper_complex,
+            library,
+            _config(workers=1),
+            runtime=RuntimeContext(run_dir, guard=guard),
+        )
+    resumed = run_screening(
+        paper_complex,
+        library,
+        _config(workers=1),
+        runtime=RuntimeContext(run_dir),
+    )
+    assert resumed.hits == serial.hits
+    assert resumed.shards_cached >= 1
+    resume_bit_equal = resumed.hits == serial.hits
+
+    cores = os.cpu_count() or 1
+    core_starved = cores < 2
+    speedup = serial_s / sharded_s if sharded_s > 0 else float("inf")
+    payload = {
+        "receptor_atoms": paper_complex.receptor.n_atoms,
+        "ligand_atoms": paper_complex.ligand_crystal.n_atoms,
+        "n_ligands": N_LIGANDS,
+        "budget": BUDGET,
+        "scoring_method": "incremental",
+        "serial_seconds": round(serial_s, 4),
+        "sharded_seconds": round(sharded_s, 4),
+        "serial_ligands_per_min": round(serial.ligands_per_min, 2),
+        "sharded_ligands_per_min": round(sharded.ligands_per_min, 2),
+        "sharded_speedup": round(speedup, 3),
+        "cpu_cores": cores,
+        "core_starved": core_starved,
+        "ranking_identical": sharded.hits == serial.hits,
+        "resume_bit_equal": resume_bit_equal,
+        "resumed_shards_cached": resumed.shards_cached,
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+
+    assert payload["ranking_identical"]
+    assert payload["resume_bit_equal"]
+    if not core_starved:
+        assert speedup >= SPEEDUP_BOUND, (
+            f"sharded speedup {speedup:.2f}x < {SPEEDUP_BOUND}x "
+            f"on a {cores}-core runner"
+        )

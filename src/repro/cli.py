@@ -206,8 +206,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--strategy",
         default="scatter",
-        choices=["ga", "local", "random", "scatter", "montecarlo"],
+        choices=["ga", "local", "random", "scatter", "montecarlo", "policy"],
     )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; >=2 fans shards over a pool "
+        "(ranking is bitwise identical either way)",
+    )
+    p.add_argument(
+        "--shard-size",
+        type=int,
+        default=4,
+        help="ligands per shard (policy mode: the inference batch size)",
+    )
+    p.add_argument(
+        "--top-k", type=int, default=None, help="print only the best K hits"
+    )
+    p.add_argument(
+        "--policy",
+        default=None,
+        help="trained Q-net checkpoint for --strategy policy "
+        "(a run --log-dir, a runtime .npz, or a save_network .npz)",
+    )
+    p.add_argument(
+        "--policy-max-steps",
+        type=int,
+        default=120,
+        help="greedy-rollout step cap per ligand in policy mode",
+    )
+    _add_scoring_method(p)
 
     p = sub.add_parser("blind", help="blind docking over surface spots")
     _add_common(p)
@@ -367,31 +396,45 @@ def _cmd_comm_ablation(args) -> int:
 def _cmd_screen(args) -> int:
     from repro.chem.builders import build_complex
     from repro.metadock.library import generate_library
-    from repro.metadock.screening import screen_library
-    from repro.utils.tables import render_table
+    from repro.screening import ScreeningConfig, run_screening
 
     cfg = ci_scale_config(episodes=1, seed=args.seed).complex
-
-    def work(_telemetry, _runtime):
-        built = build_complex(cfg)
-        library = generate_library(cfg, args.ligands, seed=args.seed)
-        hits = screen_library(
-            built,
-            library,
+    try:
+        # getattr: manifests from before these flags existed resume fine.
+        screen_cfg = ScreeningConfig(
             strategy=args.strategy,
             budget=args.budget,
             seed=args.seed,
+            workers=getattr(args, "workers", 1) or 1,
+            shard_size=getattr(args, "shard_size", 4) or 4,
+            top_k=getattr(args, "top_k", None),
+            scoring_method=getattr(args, "scoring_method", "exact"),
+            policy_path=getattr(args, "policy", None),
+            policy_max_steps=getattr(args, "policy_max_steps", 120) or 120,
         )
-        rows = [
-            (k + 1, h.compound_id, h.n_atoms, f"{h.best_score:.2f}")
-            for k, h in enumerate(hits)
-        ]
-        text = render_table(
-            ["rank", "compound", "atoms", "best score"],
-            rows,
-            title=f"Virtual screening ({args.strategy})",
-            align=["r", "l", "r", "r"],
+    except ValueError as exc:
+        print(f"repro screen: {exc}", file=sys.stderr)
+        return 2
+
+    def work(telemetry, runtime):
+        built = build_complex(cfg)
+        library_kwargs = {}
+        if screen_cfg.strategy == "policy":
+            # The Q-net is sized for the training complex: cap library
+            # compounds at the base ligand size so every state fits the
+            # checkpoint's input dim (smaller ligands zero-pad).
+            library_kwargs["max_atoms"] = cfg.ligand_atoms
+        library = generate_library(
+            cfg, args.ligands, seed=args.seed, **library_kwargs
         )
+        result = run_screening(
+            built,
+            library,
+            screen_cfg,
+            telemetry=telemetry,
+            runtime=runtime,
+        )
+        text = result.summary()
         print(text)
         return 0, text
 

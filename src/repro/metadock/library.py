@@ -43,9 +43,38 @@ def generate_library(
     """
     if n_ligands < 0:
         raise ValueError("n_ligands must be non-negative")
+    if min_atoms is not None and min_atoms < 1:
+        raise ValueError(
+            f"min_atoms must be positive, got {min_atoms}"
+        )
+    if max_atoms is not None and max_atoms < 1:
+        raise ValueError(
+            f"max_atoms must be positive, got {max_atoms}"
+        )
+    if (
+        min_atoms is not None
+        and max_atoms is not None
+        and max_atoms < min_atoms
+    ):
+        raise ValueError(
+            f"max_atoms ({max_atoms}) must be >= min_atoms ({min_atoms})"
+        )
     rng = as_generator(seed)
-    lo = min_atoms or max(6, int(base.ligand_atoms * 0.6))
-    hi = max_atoms or min(199, max(lo + 1, int(base.ligand_atoms * 1.4)))
+    lo = (
+        min_atoms
+        if min_atoms is not None
+        else max(6, int(base.ligand_atoms * 0.6))
+    )
+    hi = (
+        max_atoms
+        if max_atoms is not None
+        else min(199, max(lo + 1, int(base.ligand_atoms * 1.4)))
+    )
+    if hi < lo:
+        raise ValueError(
+            f"resolved atom bounds are empty: [{lo}, {hi}] "
+            "(explicit bound conflicts with the derived default)"
+        )
     entries: list[LibraryEntry] = []
     for k in range(n_ligands):
         n_atoms = int(rng.integers(lo, hi + 1))

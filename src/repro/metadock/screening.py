@@ -1,16 +1,19 @@
-"""Virtual-screening driver: rank a ligand library against one receptor.
+"""Virtual-screening primitives: rank a ligand library against one receptor.
 
 This is the end-to-end METADOCK use case the paper motivates: for each
 compound, optimize its pose with a chosen metaheuristic strategy and rank
-compounds by best score.  Per-ligand searches are independent, so they
-fan out over a process pool.
+compounds by best score.  Per-ligand searches are independent, and
+:func:`screen_library` routes them through the sharded driver in
+:mod:`repro.screening.driver` -- ``workers>=2`` fans shards out over a
+process pool, ``workers=1`` (the default) runs in-process with a ranking
+bitwise identical to either mode.  The service layer (streaming hits,
+telemetry, resume) lives in :mod:`repro.screening`; this module keeps the
+per-ligand building blocks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-
-import numpy as np
 
 from repro.chem.builders import BuiltComplex
 from repro.chem.molecule import Molecule
@@ -19,7 +22,6 @@ from repro.metadock.library import LibraryEntry
 from repro.metadock.metaheuristic import MetaheuristicSchema
 from repro.metadock.montecarlo import MonteCarloConfig, MonteCarloOptimizer
 from repro.metadock.strategies import STRATEGY_PRESETS
-from repro.utils.rng import RngFactory
 
 
 @dataclass(frozen=True)
@@ -32,7 +34,13 @@ class ScreeningHit:
     n_atoms: int
 
 
-def _engine_for(built: BuiltComplex, ligand: Molecule) -> MetadockEngine:
+def _engine_for(
+    built: BuiltComplex,
+    ligand: Molecule,
+    *,
+    scoring_method: str = "exact",
+    scoring_kwargs: dict | None = None,
+) -> MetadockEngine:
     """Engine over ``built``'s receptor with a substituted ligand."""
     import dataclasses
 
@@ -47,7 +55,11 @@ def _engine_for(built: BuiltComplex, ligand: Molecule) -> MetadockEngine:
         ligand_crystal=centered.translated(built.pocket_center),
         ligand_initial=initial,
     )
-    return MetadockEngine(sub)
+    return MetadockEngine(
+        sub,
+        scoring_method=scoring_method,
+        scoring_kwargs=scoring_kwargs,
+    )
 
 
 def screen_ligand(
@@ -57,9 +69,16 @@ def screen_ligand(
     strategy: str = "scatter",
     budget: int = 400,
     seed: int = 0,
+    scoring_method: str = "exact",
+    scoring_kwargs: dict | None = None,
 ) -> ScreeningHit:
     """Optimize one compound's pose; return its best score."""
-    engine = _engine_for(built, entry.ligand)
+    engine = _engine_for(
+        built,
+        entry.ligand,
+        scoring_method=scoring_method,
+        scoring_kwargs=scoring_kwargs,
+    )
     if strategy == "montecarlo":
         opt = MonteCarloOptimizer(
             engine,
@@ -92,22 +111,37 @@ def screen_library(
     budget: int = 400,
     seed: int = 0,
     top_k: int | None = None,
+    workers: int = 1,
+    shard_size: int | None = None,
+    scoring_method: str = "exact",
+    scoring_kwargs: dict | None = None,
 ) -> list[ScreeningHit]:
     """Screen every compound and return hits ranked by score (descending).
 
     Deterministic: each compound gets an independent seed stream derived
-    from ``seed``, so the ranking is stable under any execution order.
+    from ``seed`` (a pure function of the library index), so the ranking
+    is bitwise identical under any ``workers`` / ``shard_size`` choice
+    and any execution order.  ``workers>=2`` fans shards over a process
+    pool via :func:`repro.screening.driver.run_screening`.
     """
-    rngs = RngFactory(seed)
-    seeds = rngs.seeds("screening", len(library))
-    hits = [
-        screen_ligand(
-            built, entry, strategy=strategy, budget=budget, seed=s
-        )
-        for entry, s in zip(library, seeds)
-    ]
-    hits.sort(key=lambda h: h.best_score, reverse=True)
-    return hits[:top_k] if top_k is not None else hits
+    # Lazy import: the driver layers on top of this module.
+    from repro.screening.driver import (
+        DEFAULT_SHARD_SIZE,
+        ScreeningConfig,
+        run_screening,
+    )
+
+    config = ScreeningConfig(
+        strategy=strategy,
+        budget=budget,
+        seed=seed,
+        workers=workers,
+        shard_size=shard_size if shard_size is not None else DEFAULT_SHARD_SIZE,
+        top_k=top_k,
+        scoring_method=scoring_method,
+        scoring_kwargs=dict(scoring_kwargs or {}),
+    )
+    return run_screening(built, library, config).hits
 
 
 def enrichment_factor(

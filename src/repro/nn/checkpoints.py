@@ -21,7 +21,7 @@ from typing import Dict, Union
 
 import numpy as np
 
-from repro.nn.network import MLP
+from repro.nn.network import MLP, build_mlp
 
 PathLike = Union[str, Path]
 
@@ -77,6 +77,71 @@ def load_network_arrays(
     for p, arr in zip(params, loaded):
         p[...] = arr
     return net
+
+
+def mlp_from_arrays(
+    arrays: Dict[str, np.ndarray],
+    *,
+    prefix: str = "p",
+    activation: str = "relu",
+    source: str = "checkpoint",
+) -> MLP:
+    """Reconstruct an :class:`MLP` from a :func:`network_arrays` dict.
+
+    The architecture is inferred from the weight shapes alone -- the
+    parameter list of :func:`build_mlp` networks alternates
+    ``(in, out)`` weight matrices with ``(out,)`` biases, so the layer
+    widths are fully determined -- which lets screening deployment
+    rebuild a trained Q-network from a bare checkpoint without a config
+    object travelling alongside the weights.  Compute dtype follows the
+    stored arrays.  Malformed parameter sets (odd counts, non-chaining
+    shapes, gaps in the index sequence) raise
+    :class:`CheckpointMismatchError`.
+    """
+    keys = sorted(
+        (
+            k
+            for k in arrays
+            if k.startswith(prefix) and k[len(prefix) :].isdigit()
+        ),
+        key=lambda k: int(k[len(prefix) :]),
+    )
+    indices = [int(k[len(prefix) :]) for k in keys]
+    if not keys or indices != list(range(len(keys))):
+        raise CheckpointMismatchError(
+            f"{source}: expected a contiguous {prefix}0..{prefix}N "
+            f"parameter sequence, got {keys or 'no parameter arrays'}"
+        )
+    params = [np.asarray(arrays[k]) for k in keys]
+    if len(params) % 2 != 0:
+        raise CheckpointMismatchError(
+            f"{source}: {len(params)} parameter arrays cannot form "
+            "alternating weight/bias pairs"
+        )
+    weights = params[0::2]
+    biases = params[1::2]
+    for i, (w, b) in enumerate(zip(weights, biases)):
+        if w.ndim != 2 or b.ndim != 1 or b.shape[0] != w.shape[1]:
+            raise CheckpointMismatchError(
+                f"{source} layer {i}: weight {w.shape} / bias "
+                f"{b.shape} is not a Dense (in, out)/(out,) pair"
+            )
+        if i > 0 and w.shape[0] != weights[i - 1].shape[1]:
+            raise CheckpointMismatchError(
+                f"{source} layer {i}: fan-in {w.shape[0]} does not "
+                f"chain from previous layer width "
+                f"{weights[i - 1].shape[1]}"
+            )
+    net = build_mlp(
+        int(weights[0].shape[0]),
+        [int(w.shape[1]) for w in weights[:-1]],
+        int(weights[-1].shape[1]),
+        activation=activation,
+        rng=0,
+        dtype=params[0].dtype,
+    )
+    clean = {f"{prefix}{i}": p for i, p in enumerate(params)}
+    return load_network_arrays(net, clean, prefix=prefix, source=source)
 
 
 def save_network(net: MLP, path: PathLike) -> None:

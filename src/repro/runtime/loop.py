@@ -160,6 +160,14 @@ class RuntimeContext:
         return path
 
     # -- result memos ------------------------------------------------------
+    def has_result(self, key: str) -> bool:
+        """True if ``key`` is already memoized in ``results.json``.
+
+        Lets drivers (e.g. the sharded screener) partition work into
+        cached and pending units up front without triggering computes.
+        """
+        return key in self._results
+
     def cached(
         self,
         key: str,

@@ -124,6 +124,7 @@ class IncrementalScorer:
         *,
         shifted: bool = True,
         cell_size: float | None = None,
+        cells: CellList | None = None,
     ):
         if cutoff <= 0:
             raise ValueError("cutoff must be positive")
@@ -142,9 +143,15 @@ class IncrementalScorer:
         self._half_skin_sq = (0.5 * self.skin) ** 2
         self._cutoff_sq = self.cutoff * self.cutoff
         self._inv_cutoff = 1.0 / self.cutoff
-        if cell_size is None:
-            cell_size = self._list_radius / 2.0
-        self._cells = CellList(receptor.coords, cell_size=cell_size)
+        # A prebuilt ``cells`` (same receptor coords, list-radius bins)
+        # skips the binning -- screening workers share one receptor cell
+        # list across every ligand they score.
+        if cells is not None:
+            self._cells = cells
+        else:
+            if cell_size is None:
+                cell_size = self._list_radius / 2.0
+            self._cells = CellList(receptor.coords, cell_size=cell_size)
         self._dirs_full = direction_vectors(receptor.coords, receptor.bonds)
         self._iso_full = (np.abs(self._dirs_full) < 1e-12).all(axis=1)
         self._mask_full = hb.eligible_pairs_mask(

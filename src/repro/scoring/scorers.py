@@ -91,6 +91,7 @@ class CutoffScorer:
         *,
         shifted: bool = True,
         cell_size: float | None = None,
+        cells: CellList | None = None,
     ):
         if cutoff <= 0:
             raise ValueError("cutoff must be positive")
@@ -100,10 +101,17 @@ class CutoffScorer:
         self.shifted = bool(shifted)
         # Bins of cutoff/2 measured fastest for cutoff-radius queries;
         # bins equal to the radius degenerate to scanning most of the
-        # receptor (pair membership is identical either way).
-        self._cells = CellList(
-            receptor.coords,
-            cell_size=cutoff / 2.0 if cell_size is None else cell_size,
+        # receptor (pair membership is identical either way).  A
+        # prebuilt ``cells`` (same receptor coords) skips the binning --
+        # screening workers share one receptor cell list across every
+        # ligand they score.
+        self._cells = (
+            cells
+            if cells is not None
+            else CellList(
+                receptor.coords,
+                cell_size=cutoff / 2.0 if cell_size is None else cell_size,
+            )
         )
         self._dirs = direction_vectors(receptor.coords, receptor.bonds)
         self._mask_full = hb.eligible_pairs_mask(

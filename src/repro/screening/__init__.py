@@ -1,0 +1,44 @@
+"""Sharded, resumable, policy-capable virtual-screening service.
+
+The service layer the ROADMAP's "virtual screening at scale" item asks
+for: deterministic shard planning (:mod:`repro.screening.plan`), a
+process-pool driver with per-worker receptor state and RuntimeContext
+memoization (:mod:`repro.screening.driver`), and a trained-policy
+scorer with batched Q-network inference
+(:mod:`repro.screening.policy`).
+"""
+
+from repro.screening.driver import (
+    DEFAULT_SHARD_SIZE,
+    HITS_NAME,
+    RANKING_NAME,
+    ScreeningConfig,
+    ScreeningResult,
+    run_screening,
+)
+from repro.screening.plan import Shard, ShardPlan, plan_shards, ranking_key
+from repro.screening.policy import (
+    PolicyBundle,
+    PolicyLoadError,
+    RolloutResult,
+    greedy_rollout,
+    load_policy,
+)
+
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "HITS_NAME",
+    "RANKING_NAME",
+    "PolicyBundle",
+    "PolicyLoadError",
+    "RolloutResult",
+    "Shard",
+    "ShardPlan",
+    "ScreeningConfig",
+    "ScreeningResult",
+    "greedy_rollout",
+    "load_policy",
+    "plan_shards",
+    "ranking_key",
+    "run_screening",
+]

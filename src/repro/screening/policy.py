@@ -1,0 +1,278 @@
+"""Trained-policy screening: checkpoint loading + batched greedy rollout.
+
+The paper's deployment story is "reduce the computational cost once the
+NN is already trained": a trained Q-network replaces the metaheuristic
+search and docks by greedy rollout.  At screening scale the win comes
+from *batching* -- one forward pass per step over the states of every
+ligand in a shard, instead of one tiny matmul per ligand -- so the
+Q-network inference amortizes exactly like
+:func:`repro.scoring.composite.score_pose_batch` amortizes scoring.
+
+Checkpoint flavours accepted by :func:`load_policy`:
+
+- a run directory written via ``--log-dir`` (the newest
+  ``checkpoints/*.npz`` runtime checkpoint is used and the manifest's
+  recorded activation is honoured);
+- a runtime :class:`~repro.runtime.checkpoint.Checkpoint` ``.npz``
+  (``agent/q_net`` subtree);
+- a bare :func:`repro.nn.checkpoints.save_network` ``.npz``
+  (``p0``, ``p1``, ... keys).
+
+The MLP architecture is reconstructed from the weight shapes alone
+(:func:`repro.nn.checkpoints.mlp_from_arrays`), so no config object has
+to travel with the weights.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+from zipfile import BadZipFile
+
+import numpy as np
+
+from repro.nn.checkpoints import mlp_from_arrays
+from repro.nn.network import MLP
+
+PathLike = Union[str, Path]
+
+
+class PolicyLoadError(ValueError):
+    """``load_policy`` could not produce a usable Q-network."""
+
+
+@dataclass(frozen=True)
+class PolicyBundle:
+    """A loaded Q-network as plain arrays (picklable across workers).
+
+    Workers receive the bundle once via the pool initializer and build
+    the actual :class:`~repro.nn.network.MLP` locally, so network
+    objects never cross process boundaries.
+    """
+
+    arrays: Dict[str, np.ndarray]
+    activation: str = "relu"
+    source: str = ""
+
+    @property
+    def input_dim(self) -> int:
+        """Expected state-vector length (first weight's fan-in)."""
+        return int(self.arrays["p0"].shape[0])
+
+    @property
+    def n_actions(self) -> int:
+        """Q-head width (last bias length)."""
+        last = max(
+            (int(k[1:]) for k in self.arrays if k[1:].isdigit()),
+            default=0,
+        )
+        return int(self.arrays[f"p{last}"].shape[0])
+
+    def build_network(self) -> MLP:
+        """Materialize the MLP (validated shapes/dtypes)."""
+        return mlp_from_arrays(
+            self.arrays,
+            activation=self.activation,
+            source=self.source or "policy bundle",
+        )
+
+
+def _manifest_activation(run_dir: Path) -> str | None:
+    """The recorded hidden-unit activation of a run dir, if any."""
+    manifest = run_dir / "manifest.json"
+    if not manifest.exists():
+        return None
+    try:
+        config = json.loads(manifest.read_text()).get("config") or {}
+    except (OSError, ValueError):
+        return None
+    value = config.get("activation")
+    return str(value) if value else None
+
+
+def _q_net_arrays(path: Path) -> Dict[str, np.ndarray]:
+    """Extract ``p*`` weight arrays from either ``.npz`` flavour."""
+    try:
+        with np.load(path) as data:
+            files = list(data.files)
+            if "__meta__" in files:
+                # Runtime checkpoint: arrays live at slash-joined tree
+                # paths; the Q-network is the agent/q_net subtree.
+                prefix = "agent/q_net/"
+                arrays = {
+                    k[len(prefix):]: np.array(data[k])
+                    for k in files
+                    if k.startswith(prefix)
+                }
+                if not arrays:
+                    raise PolicyLoadError(
+                        f"{path}: runtime checkpoint has no "
+                        "agent/q_net arrays (not a DQN training "
+                        "checkpoint?)"
+                    )
+                return arrays
+            arrays = {
+                k: np.array(data[k])
+                for k in files
+                if k.startswith("p") and k[1:].isdigit()
+            }
+            if not arrays:
+                raise PolicyLoadError(
+                    f"{path}: no p0/p1/... parameter arrays "
+                    "(not a save_network archive?)"
+                )
+            return arrays
+    except PolicyLoadError:
+        raise
+    except (OSError, ValueError, BadZipFile) as exc:
+        raise PolicyLoadError(f"{path}: unreadable npz archive: {exc}")
+
+
+def load_policy(
+    path: PathLike, *, activation: str | None = None
+) -> PolicyBundle:
+    """Load a trained Q-network from any supported checkpoint flavour.
+
+    ``activation`` overrides auto-detection (run-dir manifests record
+    it; bare weight archives default to the Table 1 ReLU).
+    """
+    target = Path(path)
+    if target.is_dir():
+        from repro.runtime.checkpoint import latest_checkpoint
+
+        ckpt = latest_checkpoint(target / "checkpoints") or (
+            latest_checkpoint(target)
+        )
+        if ckpt is None:
+            raise PolicyLoadError(
+                f"{target}: no .npz checkpoint found (looked in "
+                f"{target / 'checkpoints'} and {target})"
+            )
+        if activation is None:
+            activation = _manifest_activation(target)
+        target = ckpt
+    if not target.exists():
+        raise PolicyLoadError(f"{target}: no such checkpoint")
+    arrays = _q_net_arrays(target)
+    return PolicyBundle(
+        arrays=arrays,
+        activation=activation or "relu",
+        source=str(target),
+    )
+
+
+@dataclass(frozen=True)
+class RolloutResult:
+    """Outcome of one ligand's greedy rollout."""
+
+    best_score: float
+    evaluations: int
+    steps: int
+    termination: str
+
+
+def greedy_rollout(
+    network: MLP,
+    engines: Sequence,
+    *,
+    max_steps: int = 120,
+    escape_factor: float = 4.0 / 3.0,
+    low_score_patience: int = 20,
+    low_score_threshold: float = -100000.0,
+) -> tuple[List[RolloutResult], int]:
+    """Greedy-dock many ligands in lockstep with batched Q inference.
+
+    Every step assembles one ``(n_active, input_dim)`` state batch and
+    runs **one** forward pass; each row's argmax action is applied to
+    its engine.  Ligands whose state vector is shorter than the
+    network's input (smaller library compounds) are zero-padded on the
+    right -- the padded tail is constant, so the rollout stays a
+    deterministic function of (weights, engine).  Per-ligand termination
+    mirrors :class:`repro.env.docking_env.DockingEnv`: escape beyond
+    ``escape_factor`` x the initial COM distance, or
+    ``low_score_patience`` consecutive scores below
+    ``low_score_threshold``.
+
+    Returns the per-ligand results (input order) and the number of
+    batched forward passes executed.
+    """
+    params = network.params()
+    input_dim = int(params[0].shape[0])
+    n_actions = int(params[-1].shape[0])
+    dtype = params[0].dtype
+    n = len(engines)
+    if n == 0:
+        return [], 0
+    dims = []
+    for eng in engines:
+        d = eng.state_dim()
+        if d > input_dim:
+            raise PolicyLoadError(
+                f"ligand state dim {d} exceeds the policy's input "
+                f"dim {input_dim}; the checkpoint was trained on a "
+                "smaller complex than this screen targets"
+            )
+        if eng.n_actions != n_actions:
+            raise PolicyLoadError(
+                f"engine exposes {eng.n_actions} actions but the "
+                f"policy head is {n_actions}-wide"
+            )
+        dims.append(d)
+    batch = np.zeros((n, input_dim), dtype=dtype)
+    best = np.empty(n)
+    evaluations = np.zeros(n, dtype=np.int64)
+    streak = np.zeros(n, dtype=np.int64)
+    active = np.ones(n, dtype=bool)
+    steps_taken = np.zeros(n, dtype=np.int64)
+    termination = ["max_steps"] * n
+    escape_radius = np.empty(n)
+    for i, eng in enumerate(engines):
+        eng.reset(observe=False)
+        escape_radius[i] = escape_factor * eng.initial_com_distance()
+        batch[i, : dims[i]] = eng.state_vector()
+        best[i] = eng.score()
+        evaluations[i] += 1
+    forward_passes = 0
+    for _step in range(max_steps):
+        idx = np.flatnonzero(active)
+        if idx.size == 0:
+            break
+        q = network.predict(batch[idx])
+        forward_passes += 1
+        # Row-wise argmax: ties resolve to the lowest action index,
+        # matching DQNAgent.greedy_action.
+        actions = np.argmax(q, axis=1)
+        for row, i in enumerate(idx):
+            eng = engines[i]
+            eng.apply_action(int(actions[row]))
+            score = eng.score()
+            evaluations[i] += 1
+            steps_taken[i] += 1
+            if score > best[i]:
+                best[i] = score
+            if score < low_score_threshold:
+                streak[i] += 1
+            else:
+                streak[i] = 0
+            if eng.com_distance() > escape_radius[i]:
+                active[i] = False
+                termination[i] = "escape"
+            elif streak[i] >= low_score_patience:
+                active[i] = False
+                termination[i] = "deep_penetration"
+            else:
+                batch[i, : dims[i]] = eng.state_vector()
+    return (
+        [
+            RolloutResult(
+                best_score=float(best[i]),
+                evaluations=int(evaluations[i]),
+                steps=int(steps_taken[i]),
+                termination=termination[i],
+            )
+            for i in range(n)
+        ],
+        forward_passes,
+    )

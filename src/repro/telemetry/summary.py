@@ -248,7 +248,77 @@ BENCH_ARTIFACTS = (
     "BENCH_train_step.json",
     "BENCH_vector_env.json",
     "BENCH_score_step.json",
+    "BENCH_screening.json",
 )
+
+
+def _screening_section(record: RunRecord) -> str:
+    """Render shard progress and top hits of a screening run.
+
+    Built from the event log plus the ``screen_ranking.json`` artifact
+    the driver writes, so interrupted screens render their partial
+    progress too.
+    """
+    starts = record.events_of("screen_start")
+    shards = record.events_of("shard")
+    ends = record.events_of("screen_end")
+    ranking_path = record.path / "screen_ranking.json"
+    if not (starts or shards or ends or ranking_path.exists()):
+        return ""
+    lines = ["Screening"]
+    if starts:
+        s = starts[-1]
+        lines.append(
+            f"  {s.get('ligands', '?')} ligands in "
+            f"{s.get('shards', '?')} shards "
+            f"({s.get('cached_shards', 0)} cached), "
+            f"strategy={s.get('strategy', '?')}, "
+            f"workers={s.get('workers', '?')}, "
+            f"shard_size={s.get('shard_size', '?')}, "
+            f"scoring={s.get('scoring_method', '?')}"
+        )
+    if shards:
+        total = starts[-1].get("shards") if starts else None
+        done = len(shards)
+        fresh = sum(1 for s in shards if not s.get("cached"))
+        last = shards[-1]
+        progress = f"{done}/{total}" if total is not None else str(done)
+        lines.append(
+            f"  shards done: {progress} ({fresh} computed this run), "
+            f"last throughput "
+            f"{_fmt(last.get('ligands_per_min'), '.1f')} ligands/min"
+        )
+    if ends:
+        e = ends[-1]
+        lines.append(
+            f"  completed: {e.get('ligands', '?')} ligands in "
+            f"{_fmt(e.get('wall_seconds'), '.2f')}s "
+            f"({_fmt(e.get('ligands_per_min'), '.1f')} ligands/min)"
+        )
+    if ranking_path.exists():
+        try:
+            hits = json.loads(ranking_path.read_text()).get("hits", [])
+        except (OSError, ValueError):
+            hits = []
+        if hits:
+            rows = [
+                (
+                    h.get("rank"),
+                    h.get("compound_id"),
+                    h.get("n_atoms"),
+                    _fmt(h.get("best_score"), ".2f"),
+                )
+                for h in hits[:10]
+            ]
+            lines.append(
+                render_table(
+                    ["rank", "compound", "atoms", "best score"],
+                    rows,
+                    title="Top hits",
+                    align=["r", "l", "r", "r"],
+                )
+            )
+    return "\n".join(lines)
 
 
 def _bench_section(record: RunRecord) -> str:
@@ -302,6 +372,9 @@ def render_summary(run_dir: PathLike) -> str:
         _span_section(record),
         _metrics_section(record),
     ]
+    screening = _screening_section(record)
+    if screening:
+        sections.append(screening)
     checkpoints = _checkpoint_section(record)
     if checkpoints:
         sections.append(checkpoints)
