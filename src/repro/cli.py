@@ -189,6 +189,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="store only the dynamic ligand tail in replay "
         "(float32 hot loop; see docs/PERFORMANCE.md)",
     )
+    p.add_argument(
+        "--observation-mode",
+        default="raw",
+        choices=["raw", "compact", "descriptor"],
+        help="observation codec the env emits (descriptor = "
+        "pocket-relative ligand features, ~60x smaller Q input; "
+        "see docs/OBSERVATIONS.md)",
+    )
     _add_scoring_method(p)
 
     p = sub.add_parser("baselines", help="DQN vs MC vs metaheuristics")
@@ -342,16 +350,21 @@ def _cmd_geometry(args) -> int:
 def _cmd_figure4(args) -> int:
     from repro.experiments.figure4 import run_figure4_experiment
 
-    cfg = ci_scale_config(
-        episodes=args.episodes,
-        seed=args.seed,
-        max_steps=args.max_steps,
-        learning_rate=args.learning_rate,
-        variant=args.variant,
-        compact_states=args.compact_states,
-        # getattr: manifests from before the flag existed resume fine.
-        scoring_method=getattr(args, "scoring_method", "exact"),
-    )
+    try:
+        cfg = ci_scale_config(
+            episodes=args.episodes,
+            seed=args.seed,
+            max_steps=args.max_steps,
+            learning_rate=args.learning_rate,
+            variant=args.variant,
+            compact_states=args.compact_states,
+            # getattr: manifests from before the flags existed resume fine.
+            scoring_method=getattr(args, "scoring_method", "exact"),
+            observation_mode=getattr(args, "observation_mode", "raw"),
+        )
+    except ValueError as exc:
+        print(f"figure4: {exc}", file=sys.stderr)
+        return 2
 
     def work(telemetry, runtime):
         result = run_figure4_experiment(

@@ -135,6 +135,13 @@ class DQNDockingConfig:
     #: float64 pipeline bit-for-bit unchanged; not available with the
     #: "distributional" variant.
     compact_states: bool = False
+    #: Observation codec emitted by the environment: "raw" (the paper's
+    #: flat 16,599-dim float64 state, bit-identical to pre-codec
+    #: behaviour), "compact" (dynamic ligand tail only -- implies
+    #: ``compact_states``), or "descriptor" (pocket-relative ligand
+    #: features, ~270 dims; see :mod:`repro.env.observation` and
+    #: docs/OBSERVATIONS.md).
+    observation_mode: str = "raw"
     #: Pose-scoring kernel: "exact" (full Eq. 1, the correctness
     #: reference), "cutoff" (cell-list truncation), "grid" (precomputed
     #: fields) or "incremental" (Verlet-list scorer, see
@@ -173,6 +180,25 @@ class DQNDockingConfig:
             raise ValueError(f"unknown variant {self.variant!r}")
         if self.comm_mode not in {"ram", "file"}:
             raise ValueError(f"unknown comm_mode {self.comm_mode!r}")
+        # Literal set (not repro.env.observation.OBSERVATION_MODES) to
+        # avoid a config -> env import cycle; an observation test
+        # asserts the two stay in sync.
+        if self.observation_mode not in {"raw", "compact", "descriptor"}:
+            raise ValueError(
+                f"unknown observation_mode {self.observation_mode!r}"
+            )
+        # Normalize the legacy compact_states flag against the codec
+        # mode so downstream code can rely on the invariant
+        # ``compact_states == (observation_mode == "compact")``.
+        if self.compact_states and self.observation_mode == "descriptor":
+            raise ValueError(
+                "compact_states conflicts with observation_mode="
+                "'descriptor'; pick one observation codec"
+            )
+        if self.compact_states and self.observation_mode == "raw":
+            object.__setattr__(self, "observation_mode", "compact")
+        elif self.observation_mode == "compact" and not self.compact_states:
+            object.__setattr__(self, "compact_states", True)
         if self.compact_states and self.variant == "distributional":
             raise ValueError(
                 "compact_states is not supported with the distributional "
@@ -187,6 +213,16 @@ class DQNDockingConfig:
             raise ValueError(
                 f"unknown scoring_method {self.scoring_method!r}"
             )
+        # Validate scoring_kwargs against the scorer registry so typos
+        # fail here rather than deep inside a worker.  Deferred import:
+        # DQNDockingConfig is bound before module-level PAPER_CONFIG
+        # instantiates, so the cycle resolves; guard anyway.
+        try:
+            from repro.scoring.scorers import validate_scoring_kwargs
+        except ImportError:  # pragma: no cover - partial installs
+            pass
+        else:
+            validate_scoring_kwargs(self.scoring_method, self.scoring_kwargs)
         if self.loss not in {"mse", "huber"}:
             raise ValueError(f"unknown loss {self.loss!r}")
         if self.activation not in {"relu", "tanh", "sigmoid", "linear"}:

@@ -17,8 +17,14 @@ limitation #1) and the RAM-based replacement they propose.
 
 from repro.env.spaces import Box, Discrete
 from repro.env.comm import RamComm, FileComm, SharedSlotComm, make_comm
-from repro.env.docking_env import DockingEnv, make_env
-from repro.env.flexible_env import FlexibleDockingEnv
+from repro.env.docking_env import DockingEnv
+from repro.env.flexible_env import FlexibleDockingEnv, make_flexible_env
+from repro.env.observation import (
+    OBSERVATION_MODES,
+    ObservationSpec,
+    StateCodec,
+    make_codec,
+)
 from repro.env.wrappers import (
     TimeLimit,
     StateNormalizer,
@@ -30,7 +36,7 @@ from repro.env.image_state import ImageStateEnv, render_projections
 from repro.env.protocol import VectorEnv, coerce_actions
 from repro.env.vectorized import SyncVectorEnv
 from repro.env.async_vectorized import AsyncVectorEnv, WorkerCrashError
-from repro.env.factory import make_vector_env, resolve_backend
+from repro.env.factory import make_env, make_vector_env, resolve_backend
 
 __all__ = [
     "Box",
@@ -42,6 +48,11 @@ __all__ = [
     "DockingEnv",
     "make_env",
     "FlexibleDockingEnv",
+    "make_flexible_env",
+    "OBSERVATION_MODES",
+    "ObservationSpec",
+    "StateCodec",
+    "make_codec",
     "TimeLimit",
     "StateNormalizer",
     "RewardScale",

@@ -195,13 +195,23 @@ class AsyncVectorEnv(VectorEnv):
         # worker's startup handshake is validated against it below.
         probe = self.env_fns[0]()
         try:
-            self.state_dim = int(probe.state_dim)
+            #: Shared :class:`~repro.env.observation.ObservationSpec`
+            #: of the wrapped envs (None for spec-less custom envs).
+            #: When present, the shared-memory block geometry below
+            #: derives from it.
+            self.observation_spec = getattr(probe, "observation_spec", None)
             self.n_actions = int(probe.n_actions)
-            #: Dtype of the shared state block (float32 when the envs
-            #: emit compact dynamic tails; see repro.env.protocol).
-            self.state_dtype = np.dtype(
-                getattr(probe, "state_dtype", np.float64)
-            )
+            if self.observation_spec is not None:
+                self.state_dim = int(self.observation_spec.dim)
+                #: Dtype of the shared state block (float32 when the
+                #: envs emit compact tails or descriptor features; see
+                #: repro.env.protocol).
+                self.state_dtype = self.observation_spec.np_dtype
+            else:
+                self.state_dim = int(probe.state_dim)
+                self.state_dtype = np.dtype(
+                    getattr(probe, "state_dtype", np.float64)
+                )
         finally:
             close = getattr(probe, "close", None)
             if close is not None:

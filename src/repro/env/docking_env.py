@@ -24,9 +24,10 @@ from typing import Any
 
 import numpy as np
 
-from repro.chem.builders import BuiltComplex, build_complex
+from repro.chem.builders import BuiltComplex
 from repro.config import DQNDockingConfig
-from repro.env.comm import CommChannel, RamComm, make_comm
+from repro.env.comm import CommChannel, RamComm
+from repro.env.observation import ObservationSpec, make_codec
 from repro.env.spaces import Box, Discrete
 from repro.metadock.engine import MetadockEngine
 from repro.metadock.pose import Pose
@@ -35,15 +36,18 @@ from repro.metadock.pose import Pose
 class DockingEnv:
     """Gym-flavoured environment over a :class:`MetadockEngine`.
 
-    With ``compact_states=True`` the env emits only the dynamic ligand
-    tail of the state (float32, written into the engine's reusable
-    buffers) instead of the paper-shaped full vector; the constant
-    receptor prefix is available once via :meth:`static_state` and the
-    observation space shrinks to ``engine.dynamic_dim()``.  Consumers
-    (agent, vector backends) reconstruct full states on demand;
-    :meth:`full_state` still produces the paper-shaped vector for
-    checkpoints and external tools.  Emitted tails stay valid for one
-    subsequent step (the engine double-buffers) -- copy to hold longer.
+    What the env emits per step is owned by a
+    :class:`~repro.env.observation.StateCodec` selected via
+    ``observation_mode`` ("raw", "compact", or "descriptor"; see
+    docs/OBSERVATIONS.md).  :attr:`observation_spec` describes the
+    emission contract (dims, dtype, Q-input width) to every consumer.
+    The legacy ``compact_states`` flag maps onto ``"compact"`` mode:
+    the constant receptor prefix is available once via
+    :meth:`static_state` and the observation space shrinks to
+    ``engine.dynamic_dim()``.  :meth:`full_state` still produces the
+    paper-shaped vector for checkpoints and external tools in every
+    mode.  Emitted arrays stay valid for one subsequent step (codecs
+    double-buffer) -- copy to hold longer.
     """
 
     def __init__(
@@ -58,6 +62,7 @@ class DockingEnv:
         reset_rng=None,
         tracer=None,
         compact_states: bool = False,
+        observation_mode: str | None = None,
     ):
         if escape_factor <= 1.0:
             raise ValueError("escape_factor must exceed 1.0")
@@ -75,14 +80,25 @@ class DockingEnv:
         self.comm = comm or RamComm()
         self.randomize_reset = bool(randomize_reset)
         self._reset_rng = reset_rng
-        self.compact_states = bool(compact_states)
+
+        if observation_mode is None:
+            observation_mode = "compact" if compact_states else "raw"
+        elif compact_states and observation_mode != "compact":
+            raise ValueError(
+                "compact_states=True conflicts with observation_mode="
+                f"{observation_mode!r}"
+            )
+        self._codec = make_codec(observation_mode, engine)
+        #: The emission contract of this env's codec.
+        self.observation_spec: ObservationSpec = self._codec.spec
+        self.observation_mode = observation_mode
+        #: Legacy alias kept for pre-codec consumers.
+        self.compact_states = observation_mode == "compact"
 
         self.action_space = Discrete(engine.n_actions)
-        obs_dim = (
-            engine.dynamic_dim() if self.compact_states
-            else engine.state_dim()
+        self.observation_space = Box(
+            -math.inf, math.inf, (self.observation_spec.dim,)
         )
-        self.observation_space = Box(-math.inf, math.inf, (obs_dim,))
         self._escape_radius = self.escape_factor * engine.initial_com_distance()
         self._last_score: float = float("nan")
         self._low_score_streak = 0
@@ -91,9 +107,7 @@ class DockingEnv:
 
     def _emit_state(self) -> np.ndarray:
         """Current state in the env's emission format."""
-        if self.compact_states:
-            return self.engine.dynamic_state()
-        return self.engine.state_vector()
+        return self._codec.encode()
 
     # -- protocol ------------------------------------------------------------
     def reset(self) -> np.ndarray:
@@ -182,8 +196,8 @@ class DockingEnv:
 
     @property
     def state_dtype(self):
-        """Dtype of emitted states (float32 in compact mode)."""
-        return np.float32 if self.compact_states else np.float64
+        """Dtype of emitted states (float64 raw, float32 otherwise)."""
+        return self.observation_spec.np_dtype.type
 
     @property
     def full_state_dim(self) -> int:
@@ -192,9 +206,7 @@ class DockingEnv:
 
     def static_state(self) -> np.ndarray | None:
         """Constant state prefix (float32) in compact mode, else None."""
-        if not self.compact_states:
-            return None
-        return self.engine.static_state()
+        return self._codec.static_state()
 
     def full_state(self) -> np.ndarray:
         """Paper-shaped full state of the current pose (fresh float64).
@@ -224,28 +236,15 @@ def make_env(
     *,
     comm: CommChannel | None = None,
 ) -> DockingEnv:
-    """Build the full stack (complex -> engine -> env) from a run config.
+    """Deprecated alias of :func:`repro.env.factory.make_env`."""
+    import warnings
 
-    ``built`` lets callers reuse an already-constructed complex (the
-    expensive part at paper scale).
-    """
-    if built is None:
-        built = build_complex(cfg.complex)
-    engine = MetadockEngine(
-        built,
-        shift_length=cfg.shift_length,
-        rotation_angle_deg=cfg.rotation_angle_deg,
-        n_torsions=cfg.complex.rotatable_bonds if cfg.flexible_ligand else 0,
-        scoring_method=cfg.scoring_method,
-        scoring_kwargs=dict(cfg.scoring_kwargs),
+    warnings.warn(
+        "repro.env.docking_env.make_env is deprecated; use "
+        "repro.env.factory.make_env (or repro.env.make_env)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    if comm is None:
-        comm = make_comm(cfg.comm_mode)
-    return DockingEnv(
-        engine,
-        escape_factor=cfg.escape_factor,
-        low_score_patience=cfg.low_score_patience,
-        low_score_threshold=cfg.low_score_threshold,
-        comm=comm,
-        compact_states=getattr(cfg, "compact_states", False),
-    )
+    from repro.env.factory import make_env as _make_env
+
+    return _make_env(cfg, built, comm=comm)

@@ -1,5 +1,13 @@
-"""``make_vector_env`` -- the one way to build a vector environment.
+"""Environment factories: ``make_env`` and ``make_vector_env``.
 
+:func:`make_env` is the one way to build a single docking environment
+from a run config -- rigid or flexible via ``kind=``, observation codec
+via ``cfg.observation_mode``.  The old per-flavour factories
+(``repro.env.docking_env.make_env``, ``make_flexible_env``) remain as
+deprecation-warning shims over this one, so pre-PR-7 run dirs resume
+unchanged.
+
+:func:`make_vector_env` is the one way to build a vector environment.
 Experiments, the CLI, and the benches used to construct
 ``SyncVectorEnv([...])`` ad hoc; this factory replaces those call
 sites so backend selection (serial in-process vs process-parallel) is
@@ -33,6 +41,87 @@ from repro.env.vectorized import SyncVectorEnv
 
 #: Recognized backend names.
 BACKENDS = ("sync", "async", "auto")
+
+#: Recognized environment kinds for :func:`make_env`.
+ENV_KINDS = ("rigid", "flexible")
+
+
+def make_env(
+    cfg,
+    built=None,
+    *,
+    kind: str | None = None,
+    comm=None,
+):
+    """Build the full stack (complex -> engine -> env) from a run config.
+
+    Parameters
+    ----------
+    cfg:
+        A :class:`repro.config.DQNDockingConfig`.
+    built:
+        An already-constructed :class:`~repro.chem.builders.BuiltComplex`
+        to reuse (the expensive part at paper scale); built from
+        ``cfg.complex`` when omitted.
+    kind:
+        "rigid" (translation/rotation actions only), "flexible"
+        (adds per-bond torsion actions,
+        :class:`~repro.env.flexible_env.FlexibleDockingEnv`), or None
+        to derive from ``cfg.flexible_ligand``.
+    comm:
+        Engine<->agent communication channel; defaults to
+        ``make_comm(cfg.comm_mode)``.
+    """
+    from repro.chem.builders import build_complex
+    from repro.env.comm import make_comm
+    from repro.env.docking_env import DockingEnv
+    from repro.env.flexible_env import FlexibleDockingEnv
+    from repro.metadock.engine import MetadockEngine
+
+    if kind is None:
+        kind = "flexible" if getattr(cfg, "flexible_ligand", False) else "rigid"
+    if kind not in ENV_KINDS:
+        raise ValueError(
+            f"unknown env kind {kind!r}; choose from {ENV_KINDS}"
+        )
+    if built is None:
+        built = build_complex(cfg.complex)
+    if comm is None:
+        comm = make_comm(getattr(cfg, "comm_mode", "ram"))
+    mode = getattr(cfg, "observation_mode", None)
+    if mode is None:
+        mode = "compact" if getattr(cfg, "compact_states", False) else "raw"
+
+    if kind == "flexible":
+        return FlexibleDockingEnv(
+            built,
+            n_torsions=cfg.complex.rotatable_bonds,
+            shift_length=cfg.shift_length,
+            rotation_angle_deg=cfg.rotation_angle_deg,
+            escape_factor=cfg.escape_factor,
+            low_score_patience=cfg.low_score_patience,
+            low_score_threshold=cfg.low_score_threshold,
+            comm=comm,
+            observation_mode=mode,
+            scoring_method=cfg.scoring_method,
+            scoring_kwargs=dict(cfg.scoring_kwargs),
+        )
+    engine = MetadockEngine(
+        built,
+        shift_length=cfg.shift_length,
+        rotation_angle_deg=cfg.rotation_angle_deg,
+        n_torsions=0,
+        scoring_method=cfg.scoring_method,
+        scoring_kwargs=dict(cfg.scoring_kwargs),
+    )
+    return DockingEnv(
+        engine,
+        escape_factor=cfg.escape_factor,
+        low_score_patience=cfg.low_score_patience,
+        low_score_threshold=cfg.low_score_threshold,
+        comm=comm,
+        observation_mode=mode,
+    )
 
 
 def resolve_backend(backend: str, n_envs: int) -> str:
@@ -89,7 +178,6 @@ def make_vector_env(
         if n_envs < 1:
             raise ValueError("n_envs must be >= 1")
         from repro.chem.builders import build_complex
-        from repro.env.docking_env import make_env
 
         if builts is None:
             built = build_complex(cfg.complex)
@@ -100,10 +188,14 @@ def make_vector_env(
                 raise ValueError(
                     f"got {len(builts)} built complexes for n_envs={n_envs}"
                 )
-        if getattr(cfg, "compact_states", False):
+        mode = getattr(cfg, "observation_mode", None)
+        if mode == "compact" or (
+            mode is None and getattr(cfg, "compact_states", False)
+        ):
             # Compact replay factors out ONE constant receptor prefix;
             # distinct complexes have distinct prefixes, so the
-            # multi-complex curriculum must use the dense pipeline.
+            # multi-complex curriculum must use the dense pipeline
+            # (or the receptor-free "descriptor" codec).
             if len({id(b) for b in builts}) > 1:
                 raise ValueError(
                     "compact_states requires a single shared complex: "

@@ -13,7 +13,7 @@ supported via ``signed_torsions``.
 
 from __future__ import annotations
 
-from repro.chem.builders import BuiltComplex, build_complex
+from repro.chem.builders import BuiltComplex
 from repro.config import DQNDockingConfig
 from repro.env.comm import CommChannel
 from repro.env.docking_env import DockingEnv
@@ -36,6 +36,7 @@ class FlexibleDockingEnv(DockingEnv):
         low_score_threshold: float = -100000.0,
         comm: CommChannel | None = None,
         compact_states: bool = False,
+        observation_mode: str | None = None,
         scoring_method: str = "exact",
         scoring_kwargs: dict | None = None,
     ):
@@ -55,6 +56,7 @@ class FlexibleDockingEnv(DockingEnv):
             low_score_threshold=low_score_threshold,
             comm=comm,
             compact_states=compact_states,
+            observation_mode=observation_mode,
         )
         self.n_torsions = int(n_torsions)
 
@@ -62,17 +64,15 @@ class FlexibleDockingEnv(DockingEnv):
 def make_flexible_env(
     cfg: DQNDockingConfig, built: BuiltComplex | None = None
 ) -> FlexibleDockingEnv:
-    """Factory mirroring :func:`repro.env.docking_env.make_env`."""
-    if built is None:
-        built = build_complex(cfg.complex)
-    return FlexibleDockingEnv(
-        built,
-        n_torsions=cfg.complex.rotatable_bonds,
-        shift_length=cfg.shift_length,
-        rotation_angle_deg=cfg.rotation_angle_deg,
-        escape_factor=cfg.escape_factor,
-        low_score_patience=cfg.low_score_patience,
-        low_score_threshold=cfg.low_score_threshold,
-        scoring_method=cfg.scoring_method,
-        scoring_kwargs=dict(cfg.scoring_kwargs),
+    """Deprecated alias of ``repro.env.factory.make_env(kind="flexible")``."""
+    import warnings
+
+    warnings.warn(
+        "make_flexible_env is deprecated; use "
+        'repro.env.factory.make_env(cfg, built, kind="flexible")',
+        DeprecationWarning,
+        stacklevel=2,
     )
+    from repro.env.factory import make_env
+
+    return make_env(cfg, built, kind="flexible")

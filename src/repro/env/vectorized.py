@@ -101,6 +101,14 @@ class SyncVectorEnv(VectorEnv):
             raise ValueError(f"environments disagree: state dtypes {dtypes}")
         #: Dtype of the stacked state arrays (float32 for compact envs).
         self.state_dtype = dtypes.pop()
+        specs = {getattr(e, "observation_spec", None) for e in self.envs}
+        if len(specs) != 1:
+            raise ValueError(
+                f"environments disagree: observation specs {specs}"
+            )
+        #: Shared :class:`~repro.env.observation.ObservationSpec` of the
+        #: wrapped envs (None for spec-less custom envs).
+        self.observation_spec = specs.pop()
 
     @property
     def n_envs(self) -> int:

@@ -19,7 +19,7 @@ import numpy as np
 from repro.chem.builders import build_complex
 from repro.config import DQNDockingConfig
 from repro.env.comm import FileComm, RamComm
-from repro.env.docking_env import make_env
+from repro.env.factory import make_env
 from repro.experiments.figure4 import (
     Figure4Result,
     run_figure4_experiment,

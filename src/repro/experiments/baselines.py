@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from repro.chem.builders import build_complex
 from repro.config import DQNDockingConfig
-from repro.env.docking_env import make_env
+from repro.env.factory import make_env
 from repro.experiments.figure4 import build_agent_for_env
 from repro.metadock.engine import MetadockEngine
 from repro.metadock.metaheuristic import MetaheuristicSchema

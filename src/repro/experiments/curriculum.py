@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.chem.builders import build_complex
 from repro.config import DQNDockingConfig
-from repro.env.docking_env import make_env
+from repro.env.factory import make_env
 from repro.env.factory import make_vector_env
 from repro.experiments.figure4 import build_agent
 from repro.rl.evaluation import EvaluationResult, evaluate_policy

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.config import DQNDockingConfig
-from repro.env.docking_env import make_env
+from repro.env.factory import make_env
 from repro.rl.agent import AgentConfig, DQNAgent
 from repro.rl.distributional import DistributionalDQNAgent
 from repro.rl.trainer import Trainer, TrainingHistory
@@ -130,21 +130,34 @@ def build_agent(
 
 
 def build_agent_for_env(cfg: DQNDockingConfig, env):
-    """Build the agent matched to ``env``'s emission mode.
+    """Build the agent matched to ``env``'s observation codec.
 
-    Compact envs emit float32 dynamic tails, so the agent is built on
-    the *full* paper-shaped dimension with the env's constant receptor
-    prefix; dense envs get the classic pairing.  Works through
-    :class:`repro.env.wrappers.Wrapper` chains (attribute delegation).
+    The env's :class:`~repro.env.observation.ObservationSpec` decides
+    the Q-network input width: compact envs emit float32 dynamic tails,
+    so the agent is built on the *full* paper-shaped dimension with the
+    env's constant receptor prefix; descriptor envs consume the emitted
+    vector directly; raw (and spec-less custom) envs get the classic
+    pairing.  Works through :class:`repro.env.wrappers.Wrapper` chains
+    (attribute delegation).
     """
-    if getattr(env, "compact_states", False):
+    spec = getattr(env, "observation_spec", None)
+    if spec is None:
+        if getattr(env, "compact_states", False):
+            return build_agent(
+                cfg,
+                env.full_state_dim,
+                env.n_actions,
+                static_state=env.static_state(),
+            )
+        return build_agent(cfg, env.state_dim, env.n_actions)
+    if spec.mode == "compact":
         return build_agent(
             cfg,
-            env.full_state_dim,
+            spec.full_dim,
             env.n_actions,
             static_state=env.static_state(),
         )
-    return build_agent(cfg, env.state_dim, env.n_actions)
+    return build_agent(cfg, spec.q_input_dim, env.n_actions)
 
 
 def run_figure4_experiment(

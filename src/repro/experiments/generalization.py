@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.chem.builders import build_complex
 from repro.config import DQNDockingConfig
-from repro.env.docking_env import make_env
+from repro.env.factory import make_env
 from repro.experiments.figure4 import (
     build_agent_for_env,
     run_figure4_experiment,

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.chem.builders import build_complex
 from repro.config import DQNDockingConfig
-from repro.env.docking_env import make_env
+from repro.env.factory import make_env
 from repro.env.wrappers import Wrapper
 from repro.experiments.figure4 import build_agent_for_env
 from repro.rl.trainer import Trainer, TrainingHistory

@@ -256,6 +256,29 @@ def _isfinite(x) -> bool:
     return isinstance(x, (int, float)) and math.isfinite(x)
 
 
+def _check_observation(meta: dict, spec) -> None:
+    """Refuse to restore a checkpoint written under a different codec.
+
+    A raw-trained Q-network cannot consume descriptor states (and vice
+    versa), so codec identity is validated *before* ``_restore``
+    mutates the agent.  Pre-PR-7 checkpoints carry no "observation"
+    key and spec-less custom envs advertise none -- both skip the
+    check for backward compatibility.
+    """
+    recorded = meta.get("observation")
+    if recorded is None or spec is None:
+        return
+    current = spec.as_dict()
+    if recorded != current:
+        from repro.nn.checkpoints import CheckpointMismatchError
+
+        raise CheckpointMismatchError(
+            "checkpoint was written under observation spec "
+            f"{recorded}, but the current environment emits {current}; "
+            "resume with the original observation_mode/config"
+        )
+
+
 class RunLoop:
     """Host a trainer under a (possibly absent) runtime context.
 
@@ -301,12 +324,14 @@ class RunLoop:
         from repro.rl.trainer import TrainingHistory
 
         agent = trainer.agent
+        spec = getattr(getattr(trainer, "env", None), "observation_spec", None)
         ckpt = rt.load_checkpoint(self.phase)
         start_episode = 0
         global_step = 0
         history = TrainingHistory()
         if ckpt is not None:
             meta = ckpt.meta
+            _check_observation(meta, spec)
             history = _history_from_meta(meta["history"])
             self._restore(agent, ckpt.state)
             if meta.get("complete"):
@@ -325,6 +350,7 @@ class RunLoop:
                     "episodes_target": trainer.episodes,
                     "global_step": gstep,
                     "complete": complete,
+                    "observation": spec.as_dict() if spec else None,
                     "history": _history_to_meta(history),
                 },
             )
@@ -366,11 +392,15 @@ class RunLoop:
         from repro.rl.vector_trainer import VectorRunStats
 
         agent = vtrainer.agent
+        spec = getattr(
+            getattr(vtrainer, "venv", None), "observation_spec", None
+        )
         ckpt = rt.load_checkpoint(self.phase)
         current = 0
         agg: Optional[dict] = None
         if ckpt is not None:
             meta = ckpt.meta
+            _check_observation(meta, spec)
             agg = _from_jsonable(meta.get("stats"))
             self._restore(agent, ckpt.state)
             if meta.get("complete"):
@@ -399,6 +429,7 @@ class RunLoop:
                     "global_step": current,
                     "steps_target": total_steps,
                     "complete": complete,
+                    "observation": spec.as_dict() if spec else None,
                     "stats": _to_jsonable(agg),
                 },
             )

@@ -31,10 +31,14 @@ from repro.scoring.grid import PotentialGrid
 from repro.scoring.incremental import IncrementalScorer
 from repro.scoring.reference import sequential_score_algorithm1
 from repro.scoring.scorers import (
+    SCORER_REGISTRY,
+    SCORING_METHODS,
     CutoffScorer,
     ExactScorer,
     GridScorer,
+    ScorerEntry,
     make_scorer,
+    validate_scoring_kwargs,
 )
 
 __all__ = [
@@ -52,5 +56,9 @@ __all__ = [
     "CutoffScorer",
     "GridScorer",
     "IncrementalScorer",
+    "ScorerEntry",
+    "SCORER_REGISTRY",
+    "SCORING_METHODS",
     "make_scorer",
+    "validate_scoring_kwargs",
 ]

@@ -16,7 +16,8 @@ All scorers share the one-pose ``score(coords)`` and many-pose
 
 from __future__ import annotations
 
-from typing import Protocol
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Protocol
 
 import numpy as np
 
@@ -233,8 +234,20 @@ class CutoffScorer:
         return out
 
 
+#: Gauge reporting the built potential grid's memory footprint.
+GRID_BYTES_METRIC = "scoring/grid_bytes"
+
+
 class GridScorer:
-    """Precomputed-field scorer (see :class:`repro.scoring.grid.PotentialGrid`)."""
+    """Precomputed-field scorer (see :class:`repro.scoring.grid.PotentialGrid`).
+
+    The grid is built lazily on first use (under a "grid-build" tracer
+    span when a tracer is attached; its size lands in the
+    ``scoring/grid_bytes`` gauge when a metrics registry is).  Pass a
+    prebuilt ``cells`` grid over the same receptor to skip the build --
+    screening workers share one grid across every ligand they score,
+    mirroring the cell-list sharing of the cutoff/incremental scorers.
+    """
 
     def __init__(
         self,
@@ -242,9 +255,65 @@ class GridScorer:
         ligand: Molecule,
         spacing: float = 1.0,
         padding: float = 6.0,
+        *,
+        cells: PotentialGrid | None = None,
     ):
+        if spacing <= 0:
+            raise ValueError("spacing must be positive")
+        if cells is not None and not isinstance(cells, PotentialGrid):
+            raise TypeError(
+                "cells must be a prebuilt PotentialGrid, got "
+                f"{type(cells).__name__}"
+            )
+        self.receptor = receptor
         self.ligand = ligand
-        self.grid = PotentialGrid(receptor, spacing=spacing, padding=padding)
+        self.spacing = float(spacing)
+        self.padding = float(padding)
+        self._grid = cells
+        self._tracer = None
+        self._metrics = None
+
+    @property
+    def grid(self) -> PotentialGrid:
+        """The potential grid, built on first access."""
+        if self._grid is None:
+            tr = self._tracer
+            if tr is None:
+                self._grid = PotentialGrid(
+                    self.receptor, spacing=self.spacing, padding=self.padding
+                )
+            else:
+                with tr.span("grid-build"):
+                    self._grid = PotentialGrid(
+                        self.receptor,
+                        spacing=self.spacing,
+                        padding=self.padding,
+                    )
+            self._publish_size()
+        return self._grid
+
+    @property
+    def tracer(self):
+        """Optional :class:`~repro.telemetry.spans.SpanTracer`."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        self._tracer = value
+
+    @property
+    def metrics(self):
+        """Optional :class:`~repro.telemetry.metrics.MetricsRegistry`."""
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, value) -> None:
+        self._metrics = value
+        self._publish_size()
+
+    def _publish_size(self) -> None:
+        if self._metrics is not None and self._grid is not None:
+            self._metrics.set(GRID_BYTES_METRIC, float(self._grid.nbytes()))
 
     def score(self, coords: np.ndarray) -> float:
         return self.grid.score(self.ligand, coords)
@@ -253,8 +322,113 @@ class GridScorer:
         return self.grid.score_batch(self.ligand, coords_batch)
 
 
+def _make_incremental(receptor: Molecule, ligand: Molecule, **kwargs):
+    from repro.scoring.incremental import IncrementalScorer
+
+    return IncrementalScorer(receptor, ligand, **kwargs)
+
+
+@dataclass(frozen=True)
+class ScorerEntry:
+    """One registered scoring method: factory + declared kwargs.
+
+    ``kwargs`` maps each accepted keyword to its allowed value types;
+    ``runtime_only`` names kwargs that are legal when constructing a
+    scorer in-process (shared in-memory caches) but meaningless in a
+    JSON config.
+    """
+
+    factory: Callable[..., PoseScorer]
+    kwargs: Mapping[str, tuple[type, ...]] = field(default_factory=dict)
+    runtime_only: frozenset[str] = frozenset()
+
+
+_NUMBER = (int, float)
+_OPTIONAL_NUMBER = (int, float, type(None))
+
+#: Method name -> :class:`ScorerEntry`; the single source of truth for
+#: valid ``scoring_method`` / ``scoring_kwargs`` combinations.
+SCORER_REGISTRY: dict[str, ScorerEntry] = {
+    "exact": ScorerEntry(factory=ExactScorer),
+    "cutoff": ScorerEntry(
+        factory=CutoffScorer,
+        kwargs={
+            "cutoff": _NUMBER,
+            "shifted": (bool,),
+            "cell_size": _OPTIONAL_NUMBER,
+            "cells": (object,),
+        },
+        runtime_only=frozenset({"cells"}),
+    ),
+    "grid": ScorerEntry(
+        factory=GridScorer,
+        kwargs={
+            "spacing": _NUMBER,
+            "padding": _NUMBER,
+            "cells": (object,),
+        },
+        runtime_only=frozenset({"cells"}),
+    ),
+    "incremental": ScorerEntry(
+        factory=_make_incremental,
+        kwargs={
+            "cutoff": _NUMBER,
+            "skin": _NUMBER,
+            "shifted": (bool,),
+            "cell_size": _OPTIONAL_NUMBER,
+            "cells": (object,),
+        },
+        runtime_only=frozenset({"cells"}),
+    ),
+}
+
 #: Valid ``make_scorer`` / config ``scoring_method`` strings.
-SCORING_METHODS: tuple[str, ...] = ("exact", "cutoff", "grid", "incremental")
+SCORING_METHODS: tuple[str, ...] = tuple(SCORER_REGISTRY)
+
+
+def validate_scoring_kwargs(
+    method: str,
+    kwargs: Mapping[str, Any],
+    *,
+    allow_runtime: bool = False,
+) -> None:
+    """Check ``scoring_kwargs`` against the registry; raise on misuse.
+
+    Called from ``DQNDockingConfig.__post_init__`` (``allow_runtime``
+    False -- a typo or a runtime-only kwarg in a run config fails at
+    construction, not deep inside a worker) and from
+    :func:`make_scorer` (``allow_runtime`` True).
+    """
+    entry = SCORER_REGISTRY.get(method)
+    if entry is None:
+        raise ValueError(
+            f"unknown scoring method {method!r}; "
+            f"choose from {SCORING_METHODS}"
+        )
+    for name, value in kwargs.items():
+        allowed = entry.kwargs.get(name)
+        if allowed is None:
+            valid = ", ".join(sorted(entry.kwargs)) or "none"
+            raise ValueError(
+                f"scoring method {method!r} accepts no kwarg {name!r} "
+                f"(valid: {valid})"
+            )
+        if name in entry.runtime_only:
+            if not allow_runtime:
+                raise ValueError(
+                    f"scoring kwarg {name!r} is runtime-only (a shared "
+                    "in-memory cache) and cannot appear in a config's "
+                    "scoring_kwargs"
+                )
+            continue
+        if not isinstance(value, allowed) or (
+            isinstance(value, bool) and bool not in allowed
+        ):
+            expected = "/".join(t.__name__ for t in allowed)
+            raise ValueError(
+                f"scoring kwarg {name!r} for method {method!r} must be "
+                f"{expected}, got {type(value).__name__} ({value!r})"
+            )
 
 
 def make_scorer(
@@ -263,15 +437,6 @@ def make_scorer(
     ligand: Molecule,
     **kwargs,
 ) -> PoseScorer:
-    """Scorer factory keyed by config string."""
-    if method == "exact":
-        return ExactScorer(receptor, ligand)
-    if method == "cutoff":
-        return CutoffScorer(receptor, ligand, **kwargs)
-    if method == "grid":
-        return GridScorer(receptor, ligand, **kwargs)
-    if method == "incremental":
-        from repro.scoring.incremental import IncrementalScorer
-
-        return IncrementalScorer(receptor, ligand, **kwargs)
-    raise ValueError(f"unknown scoring method {method!r}")
+    """Scorer factory keyed by config string (thin registry shim)."""
+    validate_scoring_kwargs(method, kwargs, allow_runtime=True)
+    return SCORER_REGISTRY[method].factory(receptor, ligand, **kwargs)

@@ -115,6 +115,9 @@ class ScreeningConfig:
                 "strategy 'policy' requires policy_path "
                 "(a trained checkpoint; see docs/SCREENING.md)"
             )
+        from repro.scoring.scorers import validate_scoring_kwargs
+
+        validate_scoring_kwargs(self.scoring_method, self.scoring_kwargs)
 
     def fingerprint(self, n_ligands: int) -> str:
         """Short stable hash of every ranking-relevant parameter.
@@ -201,14 +204,16 @@ def _init_worker(
     }
 
 
-def _receptor_cells(
-    config: ScreeningConfig, receptor
-) -> Optional[CellList]:
-    """The shared receptor cell list for cell-based scoring methods.
+def _receptor_cells(config: ScreeningConfig, receptor):
+    """The shared receptor-side cache for cell/grid scoring methods.
 
-    Bin sizes match what each scorer would build for itself, so sharing
-    changes nothing about pair membership or ordering -- results stay
-    bit-identical to per-ligand construction.
+    A :class:`CellList` for "cutoff"/"incremental" (bin sizes match
+    what each scorer would build for itself, so sharing changes nothing
+    about pair membership or ordering) or a prebuilt
+    :class:`~repro.scoring.grid.PotentialGrid` for "grid" (the grid
+    depends only on the receptor, so one build serves every ligand the
+    worker screens) -- results stay bit-identical to per-ligand
+    construction either way.
     """
     kwargs = config.scoring_kwargs or {}
     if config.scoring_method == "cutoff":
@@ -220,6 +225,14 @@ def _receptor_cells(
         cutoff = float(kwargs.get("cutoff", DEFAULT_CUTOFF))
         skin = float(kwargs.get("skin", DEFAULT_SKIN))
         size = kwargs.get("cell_size") or (cutoff + skin) / 2.0
+    elif config.scoring_method == "grid":
+        from repro.scoring.grid import PotentialGrid
+
+        return PotentialGrid(
+            receptor,
+            spacing=float(kwargs.get("spacing", 1.0)),
+            padding=float(kwargs.get("padding", 6.0)),
+        )
     else:
         return None
     return CellList(receptor.coords, cell_size=float(size))
@@ -269,6 +282,9 @@ def _run_shard(task: tuple) -> dict:
             worker["network"],
             engines,
             max_steps=config.policy_max_steps,
+            observation_mode=getattr(
+                worker["policy"], "observation_mode", "raw"
+            ),
         )
         for i, res in zip(indices, results):
             hits.append(

@@ -55,6 +55,12 @@ class PolicyBundle:
     arrays: Dict[str, np.ndarray]
     activation: str = "relu"
     source: str = ""
+    #: Observation codec the network was trained under ("raw",
+    #: "compact", or "descriptor"); drives how rollout states are
+    #: assembled.  Compact-trained nets are full-width (the agent
+    #: reconstructs full states before the forward pass), so "compact"
+    #: batches exactly like "raw".
+    observation_mode: str = "raw"
 
     @property
     def input_dim(self) -> int:
@@ -79,17 +85,37 @@ class PolicyBundle:
         )
 
 
-def _manifest_activation(run_dir: Path) -> str | None:
-    """The recorded hidden-unit activation of a run dir, if any."""
+def _manifest_config(run_dir: Path) -> dict:
+    """The recorded run config of a run dir's manifest, if any."""
     manifest = run_dir / "manifest.json"
     if not manifest.exists():
-        return None
+        return {}
     try:
         config = json.loads(manifest.read_text()).get("config") or {}
     except (OSError, ValueError):
-        return None
-    value = config.get("activation")
+        return {}
+    return config if isinstance(config, dict) else {}
+
+
+def _manifest_activation(run_dir: Path) -> str | None:
+    """The recorded hidden-unit activation of a run dir, if any."""
+    value = _manifest_config(run_dir).get("activation")
     return str(value) if value else None
+
+
+def _manifest_observation_mode(run_dir: Path) -> str | None:
+    """The recorded observation codec of a run dir, if any.
+
+    Pre-PR-7 manifests carry no ``observation_mode``; their legacy
+    ``compact_states`` flag maps to "compact".
+    """
+    config = _manifest_config(run_dir)
+    value = config.get("observation_mode")
+    if value:
+        return str(value)
+    if config.get("compact_states"):
+        return "compact"
+    return None
 
 
 def _q_net_arrays(path: Path) -> Dict[str, np.ndarray]:
@@ -131,12 +157,16 @@ def _q_net_arrays(path: Path) -> Dict[str, np.ndarray]:
 
 
 def load_policy(
-    path: PathLike, *, activation: str | None = None
+    path: PathLike,
+    *,
+    activation: str | None = None,
+    observation_mode: str | None = None,
 ) -> PolicyBundle:
     """Load a trained Q-network from any supported checkpoint flavour.
 
-    ``activation`` overrides auto-detection (run-dir manifests record
-    it; bare weight archives default to the Table 1 ReLU).
+    ``activation`` and ``observation_mode`` override auto-detection
+    (run-dir manifests record both; bare weight archives default to the
+    Table 1 ReLU over raw states).
     """
     target = Path(path)
     if target.is_dir():
@@ -152,6 +182,8 @@ def load_policy(
             )
         if activation is None:
             activation = _manifest_activation(target)
+        if observation_mode is None:
+            observation_mode = _manifest_observation_mode(target)
         target = ckpt
     if not target.exists():
         raise PolicyLoadError(f"{target}: no such checkpoint")
@@ -160,6 +192,7 @@ def load_policy(
         arrays=arrays,
         activation=activation or "relu",
         source=str(target),
+        observation_mode=observation_mode or "raw",
     )
 
 
@@ -181,6 +214,7 @@ def greedy_rollout(
     escape_factor: float = 4.0 / 3.0,
     low_score_patience: int = 20,
     low_score_threshold: float = -100000.0,
+    observation_mode: str = "raw",
 ) -> tuple[List[RolloutResult], int]:
     """Greedy-dock many ligands in lockstep with batched Q inference.
 
@@ -195,6 +229,12 @@ def greedy_rollout(
     ``low_score_patience`` consecutive scores below
     ``low_score_threshold``.
 
+    ``observation_mode`` must match the codec the policy was trained
+    under: "descriptor" assembles pocket-relative feature rows via
+    :func:`repro.env.observation.make_codec`; "raw" and "compact" both
+    use full paper-shaped state rows (compact-trained nets reconstruct
+    full states during training, so their input layer is full-width).
+
     Returns the per-ligand results (input order) and the number of
     batched forward passes executed.
     """
@@ -205,9 +245,14 @@ def greedy_rollout(
     n = len(engines)
     if n == 0:
         return [], 0
+    codecs = None
+    if observation_mode == "descriptor":
+        from repro.env.observation import make_codec
+
+        codecs = [make_codec("descriptor", eng) for eng in engines]
     dims = []
-    for eng in engines:
-        d = eng.state_dim()
+    for i, eng in enumerate(engines):
+        d = codecs[i].spec.dim if codecs is not None else eng.state_dim()
         if d > input_dim:
             raise PolicyLoadError(
                 f"ligand state dim {d} exceeds the policy's input "
@@ -231,7 +276,9 @@ def greedy_rollout(
     for i, eng in enumerate(engines):
         eng.reset(observe=False)
         escape_radius[i] = escape_factor * eng.initial_com_distance()
-        batch[i, : dims[i]] = eng.state_vector()
+        batch[i, : dims[i]] = (
+            codecs[i].encode() if codecs is not None else eng.state_vector()
+        )
         best[i] = eng.score()
         evaluations[i] += 1
     forward_passes = 0
@@ -263,7 +310,11 @@ def greedy_rollout(
                 active[i] = False
                 termination[i] = "deep_penetration"
             else:
-                batch[i, : dims[i]] = eng.state_vector()
+                batch[i, : dims[i]] = (
+                    codecs[i].encode()
+                    if codecs is not None
+                    else eng.state_vector()
+                )
     return (
         [
             RolloutResult(

@@ -249,6 +249,7 @@ BENCH_ARTIFACTS = (
     "BENCH_vector_env.json",
     "BENCH_score_step.json",
     "BENCH_screening.json",
+    "BENCH_observation.json",
 )
 
 

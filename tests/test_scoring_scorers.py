@@ -5,11 +5,16 @@ import pytest
 
 from repro.metadock.engine import MetadockEngine
 from repro.scoring.composite import interaction_score
+from repro.scoring.grid import PotentialGrid
 from repro.scoring.scorers import (
+    GRID_BYTES_METRIC,
+    SCORER_REGISTRY,
+    SCORING_METHODS,
     CutoffScorer,
     ExactScorer,
     GridScorer,
     make_scorer,
+    validate_scoring_kwargs,
 )
 
 
@@ -99,6 +104,121 @@ class TestGridScorer:
         scorer = GridScorer(rec, template, spacing=1.5)
         out = scorer.score_batch(np.stack([coords, coords + 1.0]))
         assert out.shape == (2,)
+
+    def test_lazy_build(self, pair):
+        rec, template, coords = pair
+        scorer = GridScorer(rec, template, spacing=1.5)
+        assert scorer._grid is None
+        scorer.score(coords)
+        assert scorer._grid is not None
+
+    def test_shared_cells_bit_identical(self, pair):
+        rec, template, coords = pair
+        grid = PotentialGrid(rec, spacing=1.5, padding=6.0)
+        own = GridScorer(rec, template, spacing=1.5)
+        shared = GridScorer(rec, template, spacing=1.5, cells=grid)
+        assert shared.grid is grid
+        assert shared.score(coords) == own.score(coords)
+        np.testing.assert_array_equal(
+            shared.score_batch(coords[None]), own.score_batch(coords[None])
+        )
+
+    def test_cells_type_validated(self, pair):
+        rec, template, _ = pair
+        with pytest.raises(TypeError):
+            GridScorer(rec, template, cells=object())
+        with pytest.raises(ValueError):
+            GridScorer(rec, template, spacing=0.0)
+
+    def test_telemetry_parity_with_engine(self, small_complex):
+        # Engine property setters forward to any scorer exposing
+        # tracer/metrics hooks -- GridScorer now has both, like
+        # cutoff/incremental.
+        from repro.telemetry.metrics import MetricsRegistry
+        from repro.telemetry.spans import SpanTracer
+
+        eng = MetadockEngine(
+            small_complex,
+            scoring_method="grid",
+            scoring_kwargs={"spacing": 1.5},
+        )
+        reg, tr = MetricsRegistry(), SpanTracer()
+        eng.metrics = reg
+        eng.tracer = tr
+        assert eng.scorer.metrics is reg and eng.scorer.tracer is tr
+        eng.reset()
+        assert reg.get(GRID_BYTES_METRIC).value == float(
+            eng.scorer.grid.nbytes()
+        )
+        assert "grid-build" in str(tr.report())
+
+    def test_metrics_attached_after_build(self, pair):
+        from repro.telemetry.metrics import MetricsRegistry
+
+        rec, template, coords = pair
+        scorer = GridScorer(rec, template, spacing=1.5)
+        scorer.score(coords)
+        reg = MetricsRegistry()
+        scorer.metrics = reg
+        assert reg.get(GRID_BYTES_METRIC).value == float(
+            scorer.grid.nbytes()
+        )
+
+
+class TestScorerRegistry:
+    def test_methods_in_sync_with_config_literal(self):
+        # config.py validates scoring_method against a literal set to
+        # avoid an import cycle; this pins the two in sync.
+        assert SCORING_METHODS == ("exact", "cutoff", "grid", "incremental")
+        assert set(SCORER_REGISTRY) == set(SCORING_METHODS)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown scoring method"):
+            validate_scoring_kwargs("quantum", {})
+
+    def test_unknown_kwarg_lists_valid_names(self):
+        with pytest.raises(ValueError, match="cutoff"):
+            validate_scoring_kwargs("cutoff", {"cutof": 9.0})
+
+    def test_type_mismatch(self):
+        with pytest.raises(ValueError, match="must be int/float"):
+            validate_scoring_kwargs("incremental", {"skin": "thick"})
+        # bool is an int subclass but not a valid numeric kwarg value.
+        with pytest.raises(ValueError, match="got bool"):
+            validate_scoring_kwargs("cutoff", {"cutoff": True})
+
+    def test_runtime_only_kwarg(self):
+        with pytest.raises(ValueError, match="runtime-only"):
+            validate_scoring_kwargs("cutoff", {"cells": None})
+        # make_scorer's path allows it.
+        validate_scoring_kwargs(
+            "cutoff", {"cells": None}, allow_runtime=True
+        )
+
+    def test_valid_kwargs_pass(self):
+        validate_scoring_kwargs("exact", {})
+        validate_scoring_kwargs(
+            "incremental",
+            {"cutoff": 12.0, "skin": 3, "shifted": True, "cell_size": None},
+        )
+        validate_scoring_kwargs("grid", {"spacing": 0.8, "padding": 4.0})
+
+    def test_config_rejects_bad_kwargs_at_construction(self):
+        from repro.config import ci_scale_config
+
+        with pytest.raises(ValueError, match="accepts no kwarg"):
+            ci_scale_config(
+                4, scoring_method="cutoff", scoring_kwargs={"cutof": 9.0}
+            )
+        with pytest.raises(ValueError, match="runtime-only"):
+            ci_scale_config(
+                4, scoring_method="cutoff", scoring_kwargs={"cells": None}
+            )
+
+    def test_make_scorer_validates(self, pair):
+        rec, template, _ = pair
+        with pytest.raises(ValueError, match="accepts no kwarg"):
+            make_scorer("cutoff", rec, template, cuttoff=9.0)
 
 
 class TestFactoryAndEngine:
