@@ -1,4 +1,4 @@
-"""Bench: per-step pose scoring -- exact vs cutoff vs incremental.
+"""Bench: per-step pose scoring -- exact vs cutoff vs incremental vs field.
 
 The environment step is dominated by one ``scorer.score(coords)`` call;
 this bench measures that call at full 2BSM scale (3,264-atom receptor,
@@ -6,7 +6,7 @@ this bench measures that call at full 2BSM scale (3,264-atom receptor,
 1 A shifts and 0.5 degree rotations) and writes a
 ``BENCH_score_step.json`` artifact for the CI score-bench job.
 
-Alongside throughput it records the two accuracy figures the scoring
+Alongside throughput it records the accuracy figures the scoring
 policy (docs/PERFORMANCE.md, "Scoring kernels") promises:
 
 - the incremental scorer tracks the cutoff scorer at the same cutoff to
@@ -18,11 +18,16 @@ policy (docs/PERFORMANCE.md, "Scoring kernels") promises:
   step while scores are in the calm docking regime (|score| < 1e4),
   and at most ``TRUNCATION_CLASH_REL_BOUND`` *relative* drift on clash
   steps, where scores reach the paper's ~1e15-1e21 magnitudes and both
-  scorers are dominated by the same clamped LJ/H-bond pairs.
+  scorers are dominated by the same clamped LJ/H-bond pairs;
+- the hybrid field scorer's interpolation drift vs exact, per the same
+  per-regime split, against its own documented budget
+  (``FIELD_CALM_STEP_BOUND`` / ``FIELD_CLASH_REL_BOUND``), plus the
+  additional calm-regime impact of storing the maps in float32
+  (the ``dtype`` option).
 
-The speedup assertion (incremental >= 5x exact) is a ratio of two
-measurements on the same machine, so it is robust to absolute runner
-speed.
+The speedup assertions (incremental >= 5x exact, field >= 5x
+incremental) are ratios of measurements on the same machine, so they
+are robust to absolute runner speed.
 """
 
 from __future__ import annotations
@@ -35,6 +40,11 @@ from pathlib import Path
 import numpy as np
 
 from repro.constants import DEFAULT_CUTOFF
+from repro.scoring.field import (
+    FIELD_CALM_STEP_BOUND,
+    FIELD_CLASH_REL_BOUND,
+    FieldScorer,
+)
 from repro.scoring.incremental import (
     DEFAULT_SKIN,
     DRIFT_REL_BOUND,
@@ -114,10 +124,20 @@ def test_bench_score_step(paper_complex):
         rec, lig, cutoff=DEFAULT_CUTOFF, skin=DEFAULT_SKIN
     )
 
+    fld = FieldScorer(rec, lig)
+    fld32 = FieldScorer(rec, lig, dtype="float32")
+
     rate_exact, s_exact = _measure(exact, poses)
     rate_cutoff, s_cutoff = _measure(cutoff, poses)
     inc.rebuild_count = 0
     rate_inc, s_inc = _measure(inc, poses)
+    rate_field, s_field = _measure(fld, poses)
+    nf = []
+    for p in poses:
+        fld.score(p)
+        nf.append(fld.near_fraction)
+    s_field32 = np.array([fld32.score(p) for p in poses])
+    field_bytes = fld.maps.nbytes() + fld._stack.nbytes
     # rebuild rate over one pass (the count accumulated PASSES+warmup
     # passes over the same trajectory, so normalize by total calls).
     total_inc_calls = PASSES * N_POSES + 20
@@ -145,6 +165,30 @@ def test_bench_score_step(paper_complex):
         (np.sign(d_inc) == np.sign(d_exact)).mean()
     )
 
+    # Accuracy, part 3: the field scorer's interpolation drift vs
+    # exact, same per-regime split on per-step score changes, plus the
+    # extra calm-regime drift from float32 map storage.
+    d_field = np.diff(s_field)
+    field_drift = np.abs(d_field - d_exact)
+    field_calm_drift = (
+        float(field_drift[calm].max()) if calm.any() else 0.0
+    )
+    field_clash_rel = (
+        float(
+            (field_drift / np.maximum(1.0, np.abs(d_exact)))[~calm].max()
+        )
+        if (~calm).any()
+        else 0.0
+    )
+    d_field32 = np.diff(s_field32)
+    f32_drift = np.abs(d_field32 - d_exact)
+    field32_calm_drift = (
+        float(f32_drift[calm].max()) if calm.any() else 0.0
+    )
+    field_sign_agreement = float(
+        (np.sign(d_field) == np.sign(d_exact)).mean()
+    )
+
     payload = {
         "receptor_atoms": rec.n_atoms,
         "ligand_atoms": lig.n_atoms,
@@ -163,6 +207,21 @@ def test_bench_score_step(paper_complex):
         "calm_step_delta_drift_vs_exact": round(calm_step_drift, 3),
         "clash_rel_delta_drift_vs_exact": clash_rel_drift,
         "reward_sign_agreement_vs_exact": round(sign_agreement, 4),
+        "field_steps_per_second": round(rate_field, 2),
+        "speedup_field_vs_incremental": round(rate_field / rate_inc, 3),
+        "speedup_field_vs_exact": round(rate_field / rate_exact, 3),
+        "field_spacing": fld.spacing,
+        "field_clash_radius": fld.clash_radius,
+        "field_map_bytes": int(field_bytes),
+        "field_near_fraction_mean": round(float(np.mean(nf)), 4),
+        "field_calm_step_drift_vs_exact": round(field_calm_drift, 3),
+        "field_clash_rel_drift_vs_exact": field_clash_rel,
+        "field_reward_sign_agreement_vs_exact": round(
+            field_sign_agreement, 4
+        ),
+        "field_float32_calm_step_drift_vs_exact": round(
+            field32_calm_drift, 3
+        ),
     }
     ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nscore-step throughput: {payload}")
@@ -176,3 +235,8 @@ def test_bench_score_step(paper_complex):
     # The Verlet list must actually amortize: far fewer rebuilds than
     # steps (skin/2 displacement policy, see docs/PERFORMANCE.md).
     assert rebuild_rate < 0.5, payload
+    # Field scorer: another >= 5x over incremental at default maps,
+    # with drift inside its documented two-regime budget.
+    assert rate_field >= 5.0 * rate_inc, payload
+    assert field_calm_drift <= FIELD_CALM_STEP_BOUND, payload
+    assert field_clash_rel <= FIELD_CLASH_REL_BOUND, payload

@@ -60,9 +60,10 @@ def _add_scoring_method(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--scoring-method",
         default="exact",
-        choices=["exact", "cutoff", "grid", "incremental"],
-        help="pose-scoring kernel (incremental = Verlet-list scorer; "
-        "see docs/PERFORMANCE.md, 'Scoring kernels')",
+        choices=["exact", "cutoff", "grid", "incremental", "field"],
+        help="pose-scoring kernel (incremental = Verlet-list scorer, "
+        "field = hybrid precomputed-field scorer; see "
+        "docs/PERFORMANCE.md, 'Scoring kernels')",
     )
 
 

@@ -144,8 +144,10 @@ class DQNDockingConfig:
     observation_mode: str = "raw"
     #: Pose-scoring kernel: "exact" (full Eq. 1, the correctness
     #: reference), "cutoff" (cell-list truncation), "grid" (precomputed
-    #: fields) or "incremental" (Verlet-list scorer, see
-    #: :mod:`repro.scoring.incremental` and docs/PERFORMANCE.md).
+    #: fields), "incremental" (Verlet-list scorer, see
+    #: :mod:`repro.scoring.incremental`) or "field" (hybrid
+    #: precomputed-field scorer with an exact near-field path, see
+    #: :mod:`repro.scoring.field` and docs/PERFORMANCE.md).
     scoring_method: str = "exact"
     #: Extra keyword arguments forwarded to the scorer constructor
     #: (e.g. ``{"cutoff": 12.0, "skin": 3.0}`` for "incremental").
@@ -208,7 +210,7 @@ class DQNDockingConfig:
         # config -> scoring import cycle; a scoring test asserts the two
         # stay in sync.
         if self.scoring_method not in {
-            "exact", "cutoff", "grid", "incremental"
+            "exact", "cutoff", "grid", "incremental", "field"
         }:
             raise ValueError(
                 f"unknown scoring_method {self.scoring_method!r}"

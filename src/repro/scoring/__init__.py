@@ -28,6 +28,7 @@ from repro.scoring.lennard_jones import lennard_jones_energy
 from repro.scoring.hbond import hbond_energy
 from repro.scoring.neighborlist import CellList
 from repro.scoring.grid import PotentialGrid
+from repro.scoring.field import FieldMaps, FieldScorer
 from repro.scoring.incremental import IncrementalScorer
 from repro.scoring.reference import sequential_score_algorithm1
 from repro.scoring.scorers import (
@@ -51,6 +52,8 @@ __all__ = [
     "hbond_energy",
     "CellList",
     "PotentialGrid",
+    "FieldMaps",
+    "FieldScorer",
     "sequential_score_algorithm1",
     "ExactScorer",
     "CutoffScorer",

@@ -1,0 +1,849 @@
+"""Hybrid precomputed-field pose scoring (AutoDock-style receptor maps).
+
+The incremental Verlet scorer still touches receptor atoms on every
+step; the next order of magnitude comes from tabulating the rigid
+receptor's fields once and reducing a pose evaluation to O(ligand
+atoms) trilinear interpolations.  :class:`FieldScorer` is a *hybrid*
+two-regime scorer built around :class:`FieldMaps`:
+
+Far field (interpolated)
+------------------------
+Every Eq. 1 term decomposes per ligand atom (each pair contains exactly
+one ligand atom), so the receptor's contribution to a ligand atom of a
+given *type* is a pure scalar field of position and can be tabulated:
+
+- an electrostatic potential map ``phi(x) = k sum_j q_j / r_j``
+  (multiplied by the ligand charge at evaluation time -- exact per
+  atom);
+- per distinct ligand ``(sigma, epsilon)`` type one repulsion /
+  dispersion map pair ``rep_t(x) = sum_j 4 sqrt(eps_j eps_t)
+  ((sigma_j+sigma_t)/2)^12 / r_j^12`` and the ``^6`` analogue -- the
+  *exact* Lorentz-Berthelot arithmetic-sigma combination, removing the
+  geometric-mean model error of :class:`~repro.scoring.grid
+  .PotentialGrid`;
+- per H-bond eligibility class (ligand donor/acceptor flags) an
+  angular-weighted 12-10 map ``sum_j cos(theta_j(x)) (C/r^12 -
+  D/r^10)`` over the class-eligible receptor atoms, plus per (type x
+  class) the ``(1 - sin(theta_j(x)))``-weighted repulsion/dispersion
+  pair carrying the ``- (1 - sin) e_lj`` part of the Eq. 1 correction.
+  ``theta_j(x)`` depends only on the receptor donor direction and the
+  grid position, so the full angular term tabulates exactly -- the
+  second documented ``PotentialGrid`` model error (no H-bond term)
+  disappears.
+
+Near field (exact pairwise)
+---------------------------
+Interpolating ``r^-12`` spikes is hopeless, so the maps never contain
+them: every kernel is tabulated with the pair distance *clipped from
+below* at ``clash_radius`` (``f_clip(r) = f(max(r, clash_radius))``),
+which bounds the fields' curvature everywhere and makes trilinear
+interpolation uniformly well-behaved -- including *inside* the
+receptor.  Exactness near the surface is restored pairwise: ligand
+atoms within ``clash_radius`` of a receptor atom are rescored through
+the exact pairwise path -- each overlapping pair's full Eq. 1 energy
+at the true (MIN_DISTANCE-clamped, like the exact scorer) distance
+replaces its clipped-kernel contribution analytically.  Overlap
+detection reuses the cell-list idea of
+:mod:`repro.scoring.neighborlist` at voxel granularity: the build
+precomputes, for every grid voxel, the receptor atoms that could
+overlap an atom inside it (a CSR candidate table over the same node
+distances the maps integrate), so at score time candidates arrive in
+one gather with no spatial query at all, and a distance check keeps
+the actual ``r < clash_radius`` pairs (the table is validated against
+:func:`~repro.scoring.neighborlist.query_pairs` on a receptor
+``CellList`` in the tests).  The clash-dominating terms are therefore
+computed exactly, pair by pair, while everything smooth stays two
+table lookups per atom.  Atoms outside the grid box always take the
+exact full-column path -- no silent boundary clamp (the documented
+``PotentialGrid._trilinear`` behavior, counted by
+``scoring/grid_oob_points`` there); box padding exceeds
+``clash_radius``, so out-of-box atoms can have no overlapping pairs.
+
+Error budget (PR 5 truncation-policy style)
+-------------------------------------------
+A pose whose atoms are all out-of-box scores *bit-identically* to
+:class:`~repro.scoring.scorers.ExactScorer` (same kernels, same
+reduction order).  For in-box atoms the only error source is trilinear
+interpolation of the clipped fields, whose curvature is bounded by the
+kernels at ``r = clash_radius``; overlapping pairs -- where the exact
+and clipped kernels diverge by up to ~1e15 -- contribute their
+difference exactly.  The documented per-step score-change bounds at
+the default ``spacing``/``clash_radius`` are
+:data:`FIELD_CALM_STEP_BOUND` (calm docking regime) and
+:data:`FIELD_CLASH_REL_BOUND` (clash regime, dominated by the exact
+pair corrections), measured at 2BSM scale by
+``benchmarks/test_bench_score_step.py`` and tabulated per spacing in
+docs/PERFORMANCE.md ("Scoring kernels").
+
+Bit-stability (checkpoint safety)
+---------------------------------
+Maps are *derived* state: never checkpointed, resumed runs start cold.
+Every map's content is a pure function of (receptor, geometry, atom
+type) -- each is accumulated independently of which other types share a
+build pass -- the overlap-pair enumeration follows the candidate
+table's canonical atom-major-then-receptor-ascending order, and the
+pair corrections are pure functions of the pose, so a warm (shared /
+previously-built) scorer and a cold one
+produce bit-identical floats for the same coordinates (pinned by
+``tests/test_scoring_field.py``), and interrupt/resume under
+``--scoring-method field`` stays bit-exact per docs/CHECKPOINTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chem.molecule import Molecule
+from repro.constants import COULOMB_CONSTANT, MIN_DISTANCE
+from repro.scoring import electrostatics as elec
+from repro.scoring import hbond as hb
+from repro.scoring import lennard_jones as lj
+from repro.scoring.composite import ScoringTables
+from repro.scoring.pairwise import direction_vectors, pairwise_distances
+
+#: Default lattice spacing, angstrom.  The error-vs-spacing table in
+#: docs/PERFORMANCE.md motivates the default: with the clipped kernels
+#: 1.0 A already keeps calm-regime per-step drift well under
+#: :data:`FIELD_CALM_STEP_BOUND`, and the compact maps stay
+#: cache-resident (halving the spacing grew the maps 8x and measurably
+#: *slowed* the gather at 2BSM scale).
+DEFAULT_SPACING: float = 1.0
+#: Default box padding beyond the receptor extent, angstrom.  Sized so
+#: docking trajectories (hundreds of 1 A moves from a pocket pose) stay
+#: inside the box: out-of-box atoms fall back to exact full columns,
+#: which is correct but ~200x slower per atom.  Must exceed
+#: ``clash_radius`` so out-of-box atoms cannot have overlapping pairs
+#: (enforced at construction).
+DEFAULT_PADDING: float = 16.0
+#: Default near-field (exact-pair) radius, angstrom.  Map kernels are
+#: clipped at this distance; pairs closer than it are rescored through
+#: the exact pairwise path.  Beyond it the clipped fields are smooth
+#: enough for trilinear interpolation.
+DEFAULT_CLASH_RADIUS: float = 3.0
+#: Default map storage dtype ("float32" halves map memory; error impact
+#: measured in BENCH_score_step.json).
+DEFAULT_DTYPE: str = "float64"
+
+#: Documented per-step score-change drift bound vs ExactScorer in the
+#: calm docking regime (|score| < 1e4) at the default spacing / clash
+#: radius, kcal/mol.  Measured at 2BSM scale by the score bench (see
+#: BENCH_score_step.json and docs/PERFORMANCE.md); enforced with margin
+#: there.
+FIELD_CALM_STEP_BOUND: float = 25.0
+#: Documented relative per-step drift bound on clash steps: the
+#: clash-dominating overlap pairs are computed exactly, so both scorers
+#: are dominated by the same clamped pairs and only the smooth
+#: interpolated remainder differs (measured ~8e-5 at the defaults).
+FIELD_CLASH_REL_BOUND: float = 1e-3
+
+#: Gauge reporting the built field maps' memory footprint (maps plus
+#: the per-ligand combined interpolation stack).
+FIELD_BYTES_METRIC = "scoring/field_bytes"
+#: Histogram over the per-call fraction of ligand atoms routed through
+#: the exact pairwise path (overlapping or out-of-box atoms;
+#: ``repro inspect`` renders its mean/max).
+NEAR_FRACTION_METRIC = "scoring/near_field_fraction"
+
+_VALID_DTYPES = ("float32", "float64")
+
+
+def _atom_type_specs(ligand: Molecule) -> tuple[list[tuple], np.ndarray]:
+    """Distinct (sigma, epsilon, donor, acceptor) tuples + per-atom ids.
+
+    Ligand atoms draw their parameters from the small element palette
+    (:mod:`repro.chem.elements`), so the distinct-type count is a
+    handful regardless of ligand size -- per-type maps stay cheap and
+    different library ligands share maps whenever they share elements.
+    """
+    specs: list[tuple] = []
+    seen: dict[tuple, int] = {}
+    ids = np.empty(ligand.n_atoms, dtype=np.int64)
+    for i in range(ligand.n_atoms):
+        s = (
+            float(ligand.sigma[i]),
+            float(ligand.epsilon[i]),
+            bool(ligand.hbond_donor[i]),
+            bool(ligand.hbond_acceptor[i]),
+        )
+        if s not in seen:
+            seen[s] = len(specs)
+            specs.append(s)
+        ids[i] = seen[s]
+    return specs, ids
+
+
+class FieldMaps:
+    """Lazily grown per-type receptor field maps on one shared lattice.
+
+    One instance serves every ligand scored against its receptor:
+    screening workers build it once per worker and pass it to each
+    :class:`FieldScorer` via ``cells=`` (mirroring the cell-list /
+    potential-grid sharing of the other scorers).  ``ensure`` builds
+    only the maps missing for a ligand's type set; each map's content
+    is independent of which other types share a build pass, so shared
+    and private builds are bitwise identical.
+    """
+
+    def __init__(
+        self,
+        receptor: Molecule,
+        *,
+        spacing: float = DEFAULT_SPACING,
+        padding: float = DEFAULT_PADDING,
+        clash_radius: float = DEFAULT_CLASH_RADIUS,
+        dtype: str = DEFAULT_DTYPE,
+    ):
+        if spacing <= 0:
+            raise ValueError("spacing must be positive")
+        if clash_radius <= 0:
+            raise ValueError("clash_radius must be positive")
+        if padding <= clash_radius:
+            raise ValueError(
+                "padding must exceed clash_radius (out-of-box atoms "
+                "must have no overlapping pairs)"
+            )
+        if dtype not in _VALID_DTYPES:
+            raise ValueError(
+                f"dtype must be one of {_VALID_DTYPES}, got {dtype!r}"
+            )
+        self.receptor = receptor
+        self.spacing = float(spacing)
+        self.padding = float(padding)
+        self.clash_radius = float(clash_radius)
+        self.dtype = str(dtype)
+        self._np_dtype = np.dtype(dtype)
+        #: Kernel clip distance (exact-path MIN_DISTANCE still applies
+        #: below it, on the pair-correction side).
+        self.clip_radius = max(self.clash_radius, MIN_DISTANCE)
+        self.origin = receptor.coords.min(axis=0) - padding
+        upper = receptor.coords.max(axis=0) + padding
+        self.shape = np.ceil((upper - self.origin) / spacing).astype(int) + 1
+        #: Candidate radius for the clash-voxel table: a receptor atom
+        #: within this of a voxel's base node is a candidate for every
+        #: point inside the voxel, so an atom in a voxel with no
+        #: candidates provably has no receptor atom within clash_radius
+        #: (node-to-anywhere-in-voxel <= spacing * sqrt(3)).
+        self.flag_radius = self.clash_radius + self.spacing * np.sqrt(3.0)
+        # Type-independent content, built on the first ensure() pass.
+        self.phi: np.ndarray | None = None
+        self.near_mask: np.ndarray | None = None
+        # Voxel-granular cell list (CSR over flat node ids): receptor
+        # atoms within flag_radius of each voxel's base node.
+        self.cand_start: np.ndarray | None = None
+        self.cand_count: np.ndarray | None = None
+        self.cand_atoms: np.ndarray | None = None
+        # Per-type / per-class maps (lazily grown).
+        self._lj: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+        self._hb1210: dict[tuple, np.ndarray] = {}
+        self._hblj: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+        # H-bond receptor topology: full-length outward directions for
+        # the pair corrections, plus the donor/acceptor subset the map
+        # build iterates over.
+        dirs_full = direction_vectors(receptor.coords, receptor.bonds)
+        self.dirs_full = dirs_full
+        self.iso_full = (np.abs(dirs_full) < 1e-12).all(axis=1)
+        rel = np.flatnonzero(receptor.hbond_donor | receptor.hbond_acceptor)
+        self._hrel = rel
+        self._hdirs = dirs_full[rel]
+        self._hiso = self.iso_full[rel]
+        self._hdot = (self._hdirs * receptor.coords[rel]).sum(axis=1)
+        self.build_count = 0
+
+    # -- class topology ----------------------------------------------------
+    def class_eligible(self, cls: tuple[bool, bool]) -> np.ndarray:
+        """Positions *within the h-relevant subset* eligible for ``cls``.
+
+        ``cls`` is the ligand-side (donor, acceptor) flag pair; a
+        receptor atom is eligible iff (receptor donor and ligand
+        acceptor) or (receptor acceptor and ligand donor) -- the same
+        rule as :func:`repro.scoring.hbond.eligible_pairs_mask`.
+        """
+        don_l, acc_l = cls
+        rec = self.receptor
+        rel = self._hrel
+        elig = np.zeros(rel.size, dtype=bool)
+        if acc_l:
+            elig |= rec.hbond_donor[rel].astype(bool)
+        if don_l:
+            elig |= rec.hbond_acceptor[rel].astype(bool)
+        return np.flatnonzero(elig)
+
+    # -- accessors ---------------------------------------------------------
+    def lj_maps(self, key: tuple[float, float]):
+        """(repulsion, dispersion) maps for ligand type ``key``."""
+        return self._lj[key]
+
+    def hb1210_map(self, cls: tuple[bool, bool]) -> np.ndarray:
+        """cos-weighted 12-10 map for eligibility class ``cls``."""
+        return self._hb1210[cls]
+
+    def hb_lj_maps(self, key: tuple[float, float], cls: tuple[bool, bool]):
+        """(1-sin)-weighted (repulsion, dispersion) maps for type x class."""
+        return self._hblj[(key, cls)]
+
+    def nbytes(self) -> int:
+        """Total map storage in bytes (including the clash-voxel table)."""
+        total = 0
+        if self.phi is not None:
+            total += self.phi.nbytes + self.near_mask.nbytes
+            total += (
+                self.cand_start.nbytes
+                + self.cand_count.nbytes
+                + self.cand_atoms.nbytes
+            )
+        for rep, disp in self._lj.values():
+            total += rep.nbytes + disp.nbytes
+        for arr in self._hb1210.values():
+            total += arr.nbytes
+        for rep, disp in self._hblj.values():
+            total += rep.nbytes + disp.nbytes
+        return total
+
+    # -- construction ------------------------------------------------------
+    def ensure(self, specs) -> bool:
+        """Build any maps missing for the given atom-type specs.
+
+        ``specs`` is an iterable of ``(sigma, epsilon, donor,
+        acceptor)`` tuples.  Returns True if a build pass ran.  Map
+        contents are independent of batching: a type built alone and
+        one built alongside others yield bitwise-identical arrays
+        (each accumulates from its own receptor-parameter vectors over
+        the same node distances).
+        """
+        specs = list(specs)
+        lj_keys = []
+        for s in specs:
+            key = (s[0], s[1])
+            if key not in self._lj and key not in lj_keys:
+                lj_keys.append(key)
+        classes = []
+        hb_pairs = []
+        for s in specs:
+            cls = (s[2], s[3])
+            if not (cls[0] or cls[1]):
+                continue
+            if self.class_eligible(cls).size == 0:
+                continue
+            if cls not in self._hb1210 and cls not in classes:
+                classes.append(cls)
+            key = (s[0], s[1])
+            pair = (key, cls)
+            if pair not in self._hblj and pair not in hb_pairs:
+                hb_pairs.append(pair)
+        first = self.phi is None
+        if not (first or lj_keys or classes or hb_pairs):
+            return False
+        self._build_pass(first, lj_keys, classes, hb_pairs)
+        self.build_count += 1
+        return True
+
+    def _build_pass(self, first, lj_keys, classes, hb_pairs) -> None:
+        rec = self.receptor
+        n = rec.n_atoms
+        nx, ny, nz = (int(v) for v in self.shape)
+        n_nodes = nx * ny * nz
+        # Per-type receptor weight vectors: 4 sqrt(eps_j eps_t) with the
+        # *arithmetic* sigma combination (sigma_j + sigma_t)/2 -- the
+        # exact Lorentz-Berthelot pair coefficients.
+        w12 = {}
+        w6 = {}
+        for key in {k for k in lj_keys} | {p[0] for p in hb_pairs}:
+            sig_t, eps_t = key
+            sig_pair = 0.5 * (rec.sigma + sig_t)
+            eps_pair = 4.0 * np.sqrt(rec.epsilon * eps_t)
+            s6 = sig_pair**6
+            w6[key] = eps_pair * s6
+            w12[key] = eps_pair * s6 * s6
+        rel = self._hrel
+        need_hb = bool(classes or hb_pairs)
+        sel_of_cls = {
+            cls: self.class_eligible(cls)
+            for cls in {c for c in classes} | {p[1] for p in hb_pairs}
+        }
+        c_hb, d_hb = hb.hbond_coefficients()
+        # Flat accumulation buffers (float64 during the build; stored
+        # astype(self.dtype) at the end).
+        out_phi = np.empty(n_nodes) if first else None
+        out_count = np.zeros(n_nodes, dtype=np.int32) if first else None
+        cand_chunks: list[np.ndarray] = []
+        out_lj = {k: (np.empty(n_nodes), np.empty(n_nodes)) for k in lj_keys}
+        out_1210 = {c: np.empty(n_nodes) for c in classes}
+        out_hblj = {
+            p: (np.empty(n_nodes), np.empty(n_nodes)) for p in hb_pairs
+        }
+        flag_r2 = self.flag_radius**2
+        clip_r2 = self.clip_radius**2
+        # Chunk the node list so the (chunk, n_rec) temporaries stay
+        # bounded (~30 MB each at 2BSM scale).
+        chunk = max(256, int(4_000_000 // max(1, n)))
+        coords = rec.coords
+        a2 = (coords * coords).sum(axis=1)[None, :]
+        q = rec.charges
+        for start in range(0, n_nodes, chunk):
+            stop = min(start + chunk, n_nodes)
+            flat = np.arange(start, stop, dtype=np.int64)
+            iz = flat % nz
+            iy = (flat // nz) % ny
+            ix = flat // (ny * nz)
+            pts = self.origin + self.spacing * np.stack(
+                [ix, iy, iz], axis=1
+            ).astype(float)
+            # |x - a|^2 via one GEMM; every kernel below sees the
+            # distance clipped at clash_radius (f_clip), so the fields
+            # stay smooth even on nodes inside receptor atoms.
+            p2 = (pts * pts).sum(axis=1)[:, None]
+            r2 = p2 + a2 - 2.0 * (pts @ coords.T)
+            if first:
+                # Voxel candidate extraction from the same distances
+                # the maps integrate: nonzero is row-major, so the CSR
+                # lists come out node-major with atoms ascending -- the
+                # canonical order the pair corrections sum in.
+                node_r, atom_c = np.nonzero(r2 <= flag_r2)
+                out_count[start:stop] = np.bincount(
+                    node_r, minlength=stop - start
+                )
+                cand_chunks.append(atom_c.astype(np.int32))
+            np.maximum(r2, clip_r2, out=r2)
+            inv_r = 1.0 / np.sqrt(r2)
+            if first:
+                out_phi[start:stop] = COULOMB_CONSTANT * (inv_r @ q)
+            inv_r2 = inv_r * inv_r
+            inv_r6 = inv_r2 * inv_r2 * inv_r2
+            inv_r12 = inv_r6 * inv_r6
+            for key in lj_keys:
+                out_lj[key][0][start:stop] = inv_r12 @ w12[key]
+                out_lj[key][1][start:stop] = inv_r6 @ w6[key]
+            if need_hb and rel.size:
+                # cos(theta_j(x)) = dir_j . (x - a_j) / r_clip: the
+                # clipped-distance normalization is deliberate -- the
+                # pair corrections subtract exactly this convention.
+                cos = (pts @ self._hdirs.T - self._hdot) * inv_r[:, rel]
+                cos[:, self._hiso] = 1.0
+                np.clip(cos, 0.0, 1.0, out=cos)
+                sin = np.sqrt(np.maximum(0.0, 1.0 - cos * cos))
+                np.subtract(1.0, sin, out=sin)  # now (1 - sin)
+                inv12_h = inv_r12[:, rel]
+                e_1210 = c_hb * inv12_h - d_hb * (inv12_h * r2[:, rel])
+                for cls in classes:
+                    sel = sel_of_cls[cls]
+                    out_1210[cls][start:stop] = (
+                        cos[:, sel] * e_1210[:, sel]
+                    ).sum(axis=1)
+                for pair in hb_pairs:
+                    key, cls = pair
+                    sel = sel_of_cls[cls]
+                    gsel = rel[sel]
+                    oms = sin[:, sel]
+                    out_hblj[pair][0][start:stop] = (
+                        oms * inv12_h[:, sel]
+                    ) @ w12[key][gsel]
+                    out_hblj[pair][1][start:stop] = (
+                        oms * inv_r6[:, rel][:, sel]
+                    ) @ w6[key][gsel]
+        dt = self._np_dtype
+        shape3 = (nx, ny, nz)
+        if first:
+            self.phi = out_phi.astype(dt).reshape(shape3)
+            self.near_mask = (out_count > 0).reshape(shape3)
+            self.cand_count = out_count
+            starts = np.zeros(n_nodes, dtype=np.int64)
+            starts[1:] = np.cumsum(out_count[:-1], dtype=np.int64)
+            self.cand_start = starts
+            self.cand_atoms = (
+                np.concatenate(cand_chunks)
+                if cand_chunks
+                else np.empty(0, dtype=np.int32)
+            )
+        for key in lj_keys:
+            self._lj[key] = (
+                out_lj[key][0].astype(dt).reshape(shape3),
+                out_lj[key][1].astype(dt).reshape(shape3),
+            )
+        for cls in classes:
+            self._hb1210[cls] = out_1210[cls].astype(dt).reshape(shape3)
+        for pair in hb_pairs:
+            self._hblj[pair] = (
+                out_hblj[pair][0].astype(dt).reshape(shape3),
+                out_hblj[pair][1].astype(dt).reshape(shape3),
+            )
+
+
+class FieldScorer:
+    """Two-regime hybrid scorer: interpolated fields, exact clash pairs.
+
+    Built lazily on first use (under a "field-build" tracer span when a
+    tracer is attached; map size lands in the ``scoring/field_bytes``
+    gauge and the per-call exact-path atom fraction in
+    ``scoring/near_field_fraction``).  Pass a prebuilt ``cells``
+    :class:`FieldMaps` over the same receptor to share maps across
+    ligands -- screening workers build one per receptor per worker.
+
+    The hot path folds each ligand atom's full clipped-field energy
+    into two trilinear lookups -- the shared ``phi`` map (times the
+    atom charge) and a per-type *combined* map ``rep - disp + hb1210 -
+    hb_rep + hb_disp`` assembled once per ligand from the stored
+    component maps -- gathered for all atoms in a single fused fancy
+    index over one flattened stack.  Overlapping pairs then add their
+    exact-vs-clipped energy difference pairwise.
+    """
+
+    def __init__(
+        self,
+        receptor: Molecule,
+        ligand: Molecule,
+        spacing: float = DEFAULT_SPACING,
+        padding: float = DEFAULT_PADDING,
+        clash_radius: float = DEFAULT_CLASH_RADIUS,
+        dtype: str = DEFAULT_DTYPE,
+        *,
+        cells: "FieldMaps | None" = None,
+    ):
+        if cells is not None:
+            if not isinstance(cells, FieldMaps):
+                raise TypeError(
+                    "cells must be a prebuilt FieldMaps, got "
+                    f"{type(cells).__name__}"
+                )
+            mismatched = [
+                name
+                for name, mine in (
+                    ("spacing", float(spacing)),
+                    ("padding", float(padding)),
+                    ("clash_radius", float(clash_radius)),
+                    ("dtype", str(dtype)),
+                )
+                if getattr(cells, name) != mine
+            ]
+            if mismatched:
+                raise ValueError(
+                    "prebuilt FieldMaps parameters differ from the "
+                    f"scorer's for: {', '.join(mismatched)}"
+                )
+            self._maps = cells
+        else:
+            self._maps = FieldMaps(
+                receptor,
+                spacing=spacing,
+                padding=padding,
+                clash_radius=clash_radius,
+                dtype=dtype,
+            )
+        self.receptor = receptor
+        self.ligand = ligand
+        self.spacing = self._maps.spacing
+        self.padding = self._maps.padding
+        self.clash_radius = self._maps.clash_radius
+        self.dtype = self._maps.dtype
+        self._tables = ScoringTables.build(receptor, ligand)
+        self._specs, spec_ids = _atom_type_specs(ligand)
+        self._charges = np.asarray(ligand.charges, dtype=float)
+        # Flat-stack addressing: stack slot 0 is phi, slot 1+g is type
+        # g's combined map; per-atom slot offsets in flattened units.
+        nx, ny, nz = (int(v) for v in self._maps.shape)
+        self._n_nodes = nx * ny * nz
+        self._strides = np.array(
+            [ny * nz, nz, 1], dtype=np.int64
+        )
+        self._corner_offs = np.array(
+            [
+                0,
+                1,
+                nz,
+                nz + 1,
+                ny * nz,
+                ny * nz + 1,
+                ny * nz + nz,
+                ny * nz + nz + 1,
+            ],
+            dtype=np.int64,
+        )
+        self._foff = (spec_ids + 1) * self._n_nodes
+        self._inv_spacing = 1.0 / self._maps.spacing
+        self._upper = self._maps.shape.astype(float) - 1.0
+        self._max_idx = self._maps.shape - 2
+        self._stack: np.ndarray | None = None
+        self._flat: np.ndarray | None = None
+        self._near_flat: np.ndarray | None = None
+        self._tracer = None
+        self._metrics = None
+        #: Exact-path atom fraction of the most recent evaluation
+        #: (atoms with overlapping pairs or outside the box).
+        self.near_fraction = 0.0
+
+    # -- telemetry ---------------------------------------------------------
+    @property
+    def tracer(self):
+        """Optional :class:`~repro.telemetry.spans.SpanTracer`."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        self._tracer = value
+
+    @property
+    def metrics(self):
+        """Optional :class:`~repro.telemetry.metrics.MetricsRegistry`."""
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, value) -> None:
+        self._metrics = value
+        self._publish_size()
+
+    def _publish_size(self) -> None:
+        if self._metrics is not None and self._stack is not None:
+            self._metrics.set(
+                FIELD_BYTES_METRIC,
+                float(self._maps.nbytes() + self._stack.nbytes),
+            )
+
+    # -- lazy build --------------------------------------------------------
+    @property
+    def maps(self) -> FieldMaps:
+        """The shared field maps, built for this ligand on first access."""
+        self._ensure_built()
+        return self._maps
+
+    def _ensure_built(self) -> None:
+        if self._stack is not None:
+            return
+        if self._tracer is not None:
+            with self._tracer.span("field-build"):
+                self._maps.ensure(self._specs)
+                self._build_stack()
+        else:
+            self._maps.ensure(self._specs)
+            self._build_stack()
+        self._publish_size()
+
+    def _build_stack(self) -> None:
+        """Fold component maps into one per-type combined map stack.
+
+        Slot 0 holds phi; slot 1+g holds type g's full non-electrostatic
+        clipped-field energy.  The combination runs in float64 in a
+        fixed order and is cast to the map dtype, so the stack is a pure
+        function of the stored maps (warm == cold bitwise).
+        """
+        maps = self._maps
+        nx, ny, nz = (int(v) for v in maps.shape)
+        stack = np.empty(
+            (1 + len(self._specs), nx, ny, nz), dtype=maps._np_dtype
+        )
+        stack[0] = maps.phi
+        for g, (sig, eps, don, acc) in enumerate(self._specs):
+            rep, disp = maps.lj_maps((sig, eps))
+            combined = rep.astype(np.float64) - disp
+            cls = (don, acc)
+            if (don or acc) and maps.class_eligible(cls).size:
+                combined += maps.hb1210_map(cls)
+                hrep, hdisp = maps.hb_lj_maps((sig, eps), cls)
+                combined -= hrep
+                combined += hdisp
+            stack[1 + g] = combined
+        self._stack = stack
+        self._flat = stack.reshape(-1)
+        self._near_flat = maps.near_mask.reshape(-1)
+
+    # -- scoring -----------------------------------------------------------
+    def _interp_energy(self, ib, base, t) -> float:
+        """Fused two-lookup interpolation over the in-box atoms ``ib``.
+
+        One fancy gather pulls all 8 corners of both the phi slot and
+        each atom's type slot from the flattened stack; the ligand
+        charge folds into the phi corner weights so a single reduction
+        yields the total.
+        """
+        b = ib.size
+        lin = np.empty(2 * b, dtype=np.int64)
+        lin[:b] = base
+        lin[b:] = base + self._foff[ib]
+        corners = self._flat[lin[:, None] + self._corner_offs[None, :]]
+        tx, ty, tz = t[:, 0], t[:, 1], t[:, 2]
+        ex, ey, ez = 1.0 - tx, 1.0 - ty, 1.0 - tz
+        p00 = ex * ey
+        p01 = ex * ty
+        p10 = tx * ey
+        p11 = tx * ty
+        w = np.empty((2 * b, 8))
+        w[:b, 0] = p00 * ez
+        w[:b, 1] = p00 * tz
+        w[:b, 2] = p01 * ez
+        w[:b, 3] = p01 * tz
+        w[:b, 4] = p10 * ez
+        w[:b, 5] = p10 * tz
+        w[:b, 6] = p11 * ez
+        w[:b, 7] = p11 * tz
+        w[b:] = w[:b]
+        w[:b] *= self._charges[ib][:, None]
+        return float(np.einsum("pc,pc->", corners, w))
+
+    def _pair_correction(self, lig, rec_i, lig_i) -> float:
+        """Exact-vs-clipped Eq. 1 energy difference of overlapping pairs.
+
+        For each pair the clipped-kernel contribution (what the maps
+        tabulated, same conventions as ``_build_pass``) is subtracted
+        and the exact-path energy at the MIN_DISTANCE-clamped true
+        distance added -- so clash terms come out exact while the
+        interpolated total needs no per-atom branching.
+        """
+        rec = self.receptor
+        maps = self._maps
+        u = lig[lig_i] - rec.coords[rec_i]
+        r = np.sqrt((u * u).sum(axis=1))
+        r_md = np.maximum(r, MIN_DISTANCE)
+        r_c = np.maximum(r, maps.clip_radius)
+        inv_md = 1.0 / r_md
+        inv_c = 1.0 / r_c
+        # Electrostatics: k q_j q_i (1/r_exact - 1/r_clip).
+        e = (
+            COULOMB_CONSTANT
+            * rec.charges[rec_i]
+            * self._charges[lig_i]
+            * (inv_md - inv_c)
+        )
+        # Lennard-Jones, arithmetic-sigma Lorentz-Berthelot.
+        sig = 0.5 * (rec.sigma[rec_i] + self.ligand.sigma[lig_i])
+        epsp = 4.0 * np.sqrt(
+            rec.epsilon[rec_i] * self.ligand.epsilon[lig_i]
+        )
+        s6 = sig**6
+        w12 = epsp * s6 * s6
+        w6 = epsp * s6
+        i6_md = inv_md**6
+        i6_c = inv_c**6
+        lj_md = w12 * (i6_md * i6_md) - w6 * i6_md
+        lj_c = w12 * (i6_c * i6_c) - w6 * i6_c
+        e += lj_md - lj_c
+        # H-bond correction on eligible pairs: replace the clipped
+        # cos/(1-sin)-weighted terms with the exact-path ones.
+        elig = (
+            rec.hbond_donor[rec_i] & self.ligand.hbond_acceptor[lig_i]
+        ) | (rec.hbond_acceptor[rec_i] & self.ligand.hbond_donor[lig_i])
+        if elig.any():
+            sel = np.flatnonzero(elig)
+            ri, li = rec_i[sel], lig_i[sel]
+            dirs = maps.dirs_full[ri]
+            dot = (dirs * u[sel]).sum(axis=1)
+            # Exact-path angular convention (hbond_angle_factors):
+            # unit vector at the true distance, 1e-9 floor.
+            cos_e = dot / np.maximum(r[sel], 1e-9)
+            cos_e[maps.iso_full[ri]] = 1.0
+            np.clip(cos_e, 0.0, 1.0, out=cos_e)
+            sin_e = np.sqrt(np.maximum(0.0, 1.0 - cos_e * cos_e))
+            # Map-side angular convention: normalized by the clipped
+            # distance (see _build_pass).
+            cos_c = dot * inv_c[sel]
+            cos_c[maps.iso_full[ri]] = 1.0
+            np.clip(cos_c, 0.0, 1.0, out=cos_c)
+            sin_c = np.sqrt(np.maximum(0.0, 1.0 - cos_c * cos_c))
+            c_hb, d_hb = hb.hbond_coefficients()
+            i10_md = i6_md[sel] * inv_md[sel] ** 4
+            i10_c = i6_c[sel] * inv_c[sel] ** 4
+            e1210_md = c_hb * (i10_md * inv_md[sel] ** 2) - d_hb * i10_md
+            e1210_c = c_hb * (i10_c * inv_c[sel] ** 2) - d_hb * i10_c
+            corr = cos_e * e1210_md - (1.0 - sin_e) * lj_md[sel]
+            corr -= cos_c * e1210_c - (1.0 - sin_c) * lj_c[sel]
+            e[sel] += corr
+        return float(e.sum())
+
+    def _exact_energy(self, lig: np.ndarray, ex: np.ndarray) -> float:
+        """Full Eq. 1 column energy for out-of-box ligand atoms.
+
+        Same kernels, arrays, and reduction order as the exact scorer
+        restricted to these columns -- a pose routed entirely through
+        this path scores bit-identically to ``ExactScorer``.
+        """
+        t = self._tables
+        rec = self.receptor
+        d = pairwise_distances(rec.coords, lig[ex])
+        e = elec.electrostatic_energy(
+            rec.charges, self.ligand.charges[ex], d
+        )
+        e += lj.lennard_jones_energy_pre(
+            t.sig_full[:, ex], t.eps_full[:, ex], d
+        )
+        if t.rows_any:
+            cos_t, sin_t = hb.hbond_angle_factors(
+                t.rec_sub, lig[ex], t.dirs_sub
+            )
+            e += hb.hbond_energy(
+                d[t.rows],
+                t.mask_sub[:, ex],
+                cos_t,
+                sin_t,
+                t.sig_sub[:, ex],
+                t.eps_sub[:, ex],
+            )
+        return e
+
+    def score(self, coords: np.ndarray) -> float:
+        lig = np.asarray(coords, dtype=float)
+        m = self.ligand.n_atoms
+        if lig.shape != (m, 3):
+            raise ValueError(f"coords must have shape ({m}, 3)")
+        self._ensure_built()
+        maps = self._maps
+        frac = (lig - maps.origin) * self._inv_spacing
+        in_box = (frac >= 0.0).all(axis=1) & (frac <= self._upper).all(
+            axis=1
+        )
+        idx = np.floor(frac).astype(np.int64)
+        np.clip(idx, 0, self._max_idx, out=idx)
+        base = idx @ self._strides
+        energy = 0.0
+        n_exact = 0
+        if in_box.all():
+            ib = np.arange(m)
+            energy += self._interp_energy(ib, base, frac - idx)
+        else:
+            ib = np.flatnonzero(in_box)
+            if ib.size:
+                energy += self._interp_energy(
+                    ib, base[ib], frac[ib] - idx[ib]
+                )
+            oob = np.flatnonzero(~in_box)
+            energy += self._exact_energy(lig, oob)
+            n_exact += oob.size
+        if ib.size:
+            base_ib = base if ib.size == m else base[ib]
+            near = self._near_flat[base_ib]
+            if near.any():
+                flagged = ib[near]
+                vox = base_ib[near]
+                counts = maps.cand_count[vox].astype(np.int64)
+                total = int(counts.sum())
+                if total:
+                    # CSR expansion of the voxel candidate lists, then
+                    # an exact distance check keeps true overlaps.
+                    cum = np.zeros(counts.size, dtype=np.int64)
+                    np.cumsum(counts[:-1], out=cum[1:])
+                    rank = np.arange(total, dtype=np.int64)
+                    rank -= np.repeat(cum, counts)
+                    rank += np.repeat(maps.cand_start[vox], counts)
+                    cand = maps.cand_atoms.take(rank).astype(np.int64)
+                    lig_i = np.repeat(flagged, counts)
+                    diff = self.receptor.coords.take(cand, axis=0)
+                    diff -= lig.take(lig_i, axis=0)
+                    d2 = np.einsum("ij,ij->i", diff, diff)
+                    keep = d2 <= maps.clash_radius * maps.clash_radius
+                    if keep.any():
+                        rec_i = np.compress(keep, cand)
+                        lig_i = np.compress(keep, lig_i)
+                        energy += self._pair_correction(lig, rec_i, lig_i)
+                        n_exact += np.unique(lig_i).size
+        self.near_fraction = n_exact / m
+        if self._metrics is not None:
+            self._metrics.observe(NEAR_FRACTION_METRIC, self.near_fraction)
+        return -energy
+
+    def score_batch(self, coords_batch: np.ndarray) -> np.ndarray:
+        """Scores for (k, m, 3) poses; each entry matches :meth:`score`."""
+        cb = np.asarray(coords_batch, dtype=float)
+        if cb.ndim != 3 or cb.shape[1:] != (self.ligand.n_atoms, 3):
+            raise ValueError(
+                f"coords_batch must have shape (k, {self.ligand.n_atoms}, 3)"
+            )
+        out = np.empty(cb.shape[0])
+        for i in range(cb.shape[0]):
+            out[i] = self.score(cb[i])
+        return out

@@ -15,6 +15,22 @@ fields are stored:
 The grid path therefore trades a small, documented model error (no H-bond
 angular term; geometric sigma) for a large constant speedup, exactly the
 trade BINDSURF makes; the bench quantifies both the error and the speedup.
+(:mod:`repro.scoring.field` removes both model errors with per-ligand-type
+maps and an exact near-field path -- this module remains the cheap,
+single-map variant.)
+
+Out-of-box behavior: interpolation CLAMPS out-of-box points to the
+boundary voxel, i.e. a pose that leaves the padded box is scored as if
+its outside atoms sat on the box face.  This is documented, not silent:
+every such point is counted in :attr:`PotentialGrid.oob_points`, which
+``GridScorer`` surfaces as the ``scoring/grid_oob_points`` gauge.
+Callers needing exactness outside the box should use the field scorer,
+which routes out-of-box atoms to the exact pairwise path instead.
+
+``dtype="float32"`` stores the three fields at half the memory; the
+interpolation arithmetic still runs in float64 (the corner weights are
+float64), and the accuracy impact is measured in the score bench
+artifact (``BENCH_score_step.json``).
 """
 
 from __future__ import annotations
@@ -34,9 +50,19 @@ class PotentialGrid:
         *,
         spacing: float = 1.0,
         padding: float = 6.0,
+        dtype: str = "float64",
     ):
         if spacing <= 0:
             raise ValueError("spacing must be positive")
+        if dtype not in ("float32", "float64"):
+            raise ValueError(
+                f"dtype must be 'float32' or 'float64', got {dtype!r}"
+            )
+        self.dtype = str(dtype)
+        dt = np.dtype(dtype)
+        #: Cumulative count of interpolation points that fell outside
+        #: the box (and were clamped to the boundary voxel).
+        self.oob_points = 0
         self.spacing = float(spacing)
         self.origin = receptor.coords.min(axis=0) - padding
         upper = receptor.coords.max(axis=0) + padding
@@ -56,9 +82,9 @@ class PotentialGrid:
         q = receptor.charges
         s6 = np.sqrt(receptor.epsilon) * receptor.sigma**3
         s12 = np.sqrt(receptor.epsilon) * receptor.sigma**6
-        self.phi = np.empty((nx, ny, nz))
-        self.disp6 = np.empty((nx, ny, nz))
-        self.disp12 = np.empty((nx, ny, nz))
+        self.phi = np.empty((nx, ny, nz), dtype=dt)
+        self.disp6 = np.empty((nx, ny, nz), dtype=dt)
+        self.disp12 = np.empty((nx, ny, nz), dtype=dt)
         yy, zz = np.meshgrid(axes[1], axes[2], indexing="ij")
         plane_pts = np.stack(
             [np.zeros_like(yy), yy, zz], axis=-1
@@ -81,7 +107,18 @@ class PotentialGrid:
             ).reshape(ny, nz)
 
     # -- interpolation -----------------------------------------------------
+    def count_out_of_box(self, points: np.ndarray) -> int:
+        """Points outside the box (those `_trilinear` clamps to the face)."""
+        frac = (np.asarray(points, dtype=float) - self.origin) / self.spacing
+        outside = (frac < 0.0).any(axis=1) | (
+            frac > self.shape.astype(float) - 1.0
+        ).any(axis=1)
+        return int(outside.sum())
+
     def _trilinear(self, field: np.ndarray, points: np.ndarray) -> np.ndarray:
+        # Out-of-box points are clamped to the boundary voxel (documented
+        # behavior; counted once per score call into ``oob_points`` --
+        # see the module docstring and ``scoring/grid_oob_points``).
         frac = (np.asarray(points, dtype=float) - self.origin) / self.spacing
         idx = np.floor(frac).astype(int)
         idx = np.clip(idx, 0, self.shape - 2)
@@ -107,22 +144,40 @@ class PotentialGrid:
             + c111 * tx * ty * tz
         )
 
-    def score(self, ligand: Molecule, coords: np.ndarray | None = None) -> float:
+    def score(
+        self,
+        ligand: Molecule,
+        coords: np.ndarray | None = None,
+        *,
+        weights: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> float:
         """Approximate METADOCK score of a ligand pose from the grids.
 
         ``coords`` overrides the ligand's stored coordinates (pose reuse).
-        Higher = better, same convention as the exact scorer.
+        ``weights`` optionally supplies the per-ligand ``(w12, w6)``
+        factor vectors (``4 sqrt(eps) sigma^k``); callers that score the
+        same ligand repeatedly cache them once (``GridScorer``) with
+        bit-identical results.  Higher = better, same convention as the
+        exact scorer.
         """
         pts = ligand.coords if coords is None else np.asarray(coords, float)
+        self.oob_points += self.count_out_of_box(pts)
         e_el = float((self._trilinear(self.phi, pts) * ligand.charges).sum())
-        w12 = 4.0 * np.sqrt(ligand.epsilon) * ligand.sigma**6
-        w6 = 4.0 * np.sqrt(ligand.epsilon) * ligand.sigma**3
+        if weights is None:
+            w12 = 4.0 * np.sqrt(ligand.epsilon) * ligand.sigma**6
+            w6 = 4.0 * np.sqrt(ligand.epsilon) * ligand.sigma**3
+        else:
+            w12, w6 = weights
         e_rep = float((self._trilinear(self.disp12, pts) * w12).sum())
         e_disp = float((self._trilinear(self.disp6, pts) * w6).sum())
         return -(e_el + e_rep - e_disp)
 
     def score_batch(
-        self, ligand: Molecule, coords_batch: np.ndarray
+        self,
+        ligand: Molecule,
+        coords_batch: np.ndarray,
+        *,
+        weights: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> np.ndarray:
         """Vectorized :meth:`score` over (k, m, 3) poses -> (k,) scores.
 
@@ -140,11 +195,15 @@ class PotentialGrid:
         if k == 0:
             return np.empty(0)
         pts = cb.reshape(-1, 3)
+        self.oob_points += self.count_out_of_box(pts)
         e_el = (
             self._trilinear(self.phi, pts).reshape(k, m) * ligand.charges
         ).sum(axis=1)
-        w12 = 4.0 * np.sqrt(ligand.epsilon) * ligand.sigma**6
-        w6 = 4.0 * np.sqrt(ligand.epsilon) * ligand.sigma**3
+        if weights is None:
+            w12 = 4.0 * np.sqrt(ligand.epsilon) * ligand.sigma**6
+            w6 = 4.0 * np.sqrt(ligand.epsilon) * ligand.sigma**3
+        else:
+            w12, w6 = weights
         e_rep = (
             self._trilinear(self.disp12, pts).reshape(k, m) * w12
         ).sum(axis=1)

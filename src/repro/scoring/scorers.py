@@ -8,7 +8,10 @@ trades (the GPU METADOCK plays the same game with spot-local windows):
 - :class:`CutoffScorer` -- only pairs within ``cutoff`` angstrom via the
   receptor cell list; truncation error vanishes as the cutoff grows;
 - :class:`GridScorer` -- trilinear lookup in precomputed receptor fields
-  (fastest; documented model error, see :mod:`repro.scoring.grid`).
+  (fast; documented model error, see :mod:`repro.scoring.grid`);
+- ``FieldScorer`` ("field") -- hybrid per-ligand-type field maps with an
+  exact near-field/out-of-box path (near-exact and the fastest
+  production kernel; see :mod:`repro.scoring.field`).
 
 All scorers share the one-pose ``score(coords)`` and many-pose
 ``score_batch(coords_batch)`` interface.
@@ -236,6 +239,10 @@ class CutoffScorer:
 
 #: Gauge reporting the built potential grid's memory footprint.
 GRID_BYTES_METRIC = "scoring/grid_bytes"
+#: Gauge reporting the cumulative count of interpolation points the
+#: grid clamped to its boundary (out-of-box poses; see
+#: :mod:`repro.scoring.grid` for the documented clamp behavior).
+GRID_OOB_METRIC = "scoring/grid_oob_points"
 
 
 class GridScorer:
@@ -243,10 +250,17 @@ class GridScorer:
 
     The grid is built lazily on first use (under a "grid-build" tracer
     span when a tracer is attached; its size lands in the
-    ``scoring/grid_bytes`` gauge when a metrics registry is).  Pass a
-    prebuilt ``cells`` grid over the same receptor to skip the build --
-    screening workers share one grid across every ligand they score,
-    mirroring the cell-list sharing of the cutoff/incremental scorers.
+    ``scoring/grid_bytes`` gauge when a metrics registry is, and the
+    cumulative out-of-box clamp count in ``scoring/grid_oob_points``).
+    Pass a prebuilt ``cells`` grid over the same receptor to skip the
+    build -- screening workers share one grid across every ligand they
+    score, mirroring the cell-list sharing of the cutoff/incremental
+    scorers.
+
+    The per-ligand LJ weight vectors ``w12 = 4 sqrt(eps) sigma^6`` and
+    ``w6 = 4 sqrt(eps) sigma^3`` depend only on topology, so they are
+    computed once here and passed into every grid evaluation
+    (bit-identical to the recompute-per-call path, same floats).
     """
 
     def __init__(
@@ -255,6 +269,7 @@ class GridScorer:
         ligand: Molecule,
         spacing: float = 1.0,
         padding: float = 6.0,
+        dtype: str = "float64",
         *,
         cells: PotentialGrid | None = None,
     ):
@@ -269,6 +284,11 @@ class GridScorer:
         self.ligand = ligand
         self.spacing = float(spacing)
         self.padding = float(padding)
+        self.dtype = str(dtype)
+        self._weights = (
+            4.0 * np.sqrt(ligand.epsilon) * ligand.sigma**6,
+            4.0 * np.sqrt(ligand.epsilon) * ligand.sigma**3,
+        )
         self._grid = cells
         self._tracer = None
         self._metrics = None
@@ -280,7 +300,10 @@ class GridScorer:
             tr = self._tracer
             if tr is None:
                 self._grid = PotentialGrid(
-                    self.receptor, spacing=self.spacing, padding=self.padding
+                    self.receptor,
+                    spacing=self.spacing,
+                    padding=self.padding,
+                    dtype=self.dtype,
                 )
             else:
                 with tr.span("grid-build"):
@@ -288,6 +311,7 @@ class GridScorer:
                         self.receptor,
                         spacing=self.spacing,
                         padding=self.padding,
+                        dtype=self.dtype,
                     )
             self._publish_size()
         return self._grid
@@ -315,17 +339,35 @@ class GridScorer:
         if self._metrics is not None and self._grid is not None:
             self._metrics.set(GRID_BYTES_METRIC, float(self._grid.nbytes()))
 
+    def _publish_oob(self) -> None:
+        if self._metrics is not None:
+            self._metrics.set(
+                GRID_OOB_METRIC, float(self.grid.oob_points)
+            )
+
     def score(self, coords: np.ndarray) -> float:
-        return self.grid.score(self.ligand, coords)
+        out = self.grid.score(self.ligand, coords, weights=self._weights)
+        self._publish_oob()
+        return out
 
     def score_batch(self, coords_batch: np.ndarray) -> np.ndarray:
-        return self.grid.score_batch(self.ligand, coords_batch)
+        out = self.grid.score_batch(
+            self.ligand, coords_batch, weights=self._weights
+        )
+        self._publish_oob()
+        return out
 
 
 def _make_incremental(receptor: Molecule, ligand: Molecule, **kwargs):
     from repro.scoring.incremental import IncrementalScorer
 
     return IncrementalScorer(receptor, ligand, **kwargs)
+
+
+def _make_field(receptor: Molecule, ligand: Molecule, **kwargs):
+    from repro.scoring.field import FieldScorer
+
+    return FieldScorer(receptor, ligand, **kwargs)
 
 
 @dataclass(frozen=True)
@@ -365,6 +407,7 @@ SCORER_REGISTRY: dict[str, ScorerEntry] = {
         kwargs={
             "spacing": _NUMBER,
             "padding": _NUMBER,
+            "dtype": (str,),
             "cells": (object,),
         },
         runtime_only=frozenset({"cells"}),
@@ -376,6 +419,17 @@ SCORER_REGISTRY: dict[str, ScorerEntry] = {
             "skin": _NUMBER,
             "shifted": (bool,),
             "cell_size": _OPTIONAL_NUMBER,
+            "cells": (object,),
+        },
+        runtime_only=frozenset({"cells"}),
+    ),
+    "field": ScorerEntry(
+        factory=_make_field,
+        kwargs={
+            "spacing": _NUMBER,
+            "padding": _NUMBER,
+            "clash_radius": _NUMBER,
+            "dtype": (str,),
             "cells": (object,),
         },
         runtime_only=frozenset({"cells"}),

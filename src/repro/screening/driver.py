@@ -18,7 +18,10 @@ every ligand that worker screens: the receptor
 :class:`~repro.scoring.neighborlist.CellList` feeds all cutoff /
 incremental scorers through their ``cells=`` parameter, so a
 3k-atom-receptor screen bins the receptor ``workers`` times, not
-``n_ligands`` times.
+``n_ligands`` times.  "grid" shares one
+:class:`~repro.scoring.grid.PotentialGrid` and "field" one
+:class:`~repro.scoring.field.FieldMaps` bundle the same way (field
+maps additionally grow lazily across ligands with new atom types).
 
 Resumability: with a :class:`~repro.runtime.loop.RuntimeContext`
 attached, every completed shard is memoized in ``results.json`` under a
@@ -209,10 +212,13 @@ def _receptor_cells(config: ScreeningConfig, receptor):
 
     A :class:`CellList` for "cutoff"/"incremental" (bin sizes match
     what each scorer would build for itself, so sharing changes nothing
-    about pair membership or ordering) or a prebuilt
+    about pair membership or ordering), a prebuilt
     :class:`~repro.scoring.grid.PotentialGrid` for "grid" (the grid
     depends only on the receptor, so one build serves every ligand the
-    worker screens) -- results stay bit-identical to per-ligand
+    worker screens), or a :class:`~repro.scoring.field.FieldMaps` bundle
+    for "field" (maps grow lazily per distinct ligand atom type; library
+    ligands share the element palette, so most builds are no-ops after
+    the first ligand) -- results stay bit-identical to per-ligand
     construction either way.
     """
     kwargs = config.scoring_kwargs or {}
@@ -232,6 +238,24 @@ def _receptor_cells(config: ScreeningConfig, receptor):
             receptor,
             spacing=float(kwargs.get("spacing", 1.0)),
             padding=float(kwargs.get("padding", 6.0)),
+        )
+    elif config.scoring_method == "field":
+        from repro.scoring.field import (
+            DEFAULT_CLASH_RADIUS,
+            DEFAULT_DTYPE,
+            DEFAULT_PADDING,
+            DEFAULT_SPACING,
+            FieldMaps,
+        )
+
+        return FieldMaps(
+            receptor,
+            spacing=float(kwargs.get("spacing", DEFAULT_SPACING)),
+            padding=float(kwargs.get("padding", DEFAULT_PADDING)),
+            clash_radius=float(
+                kwargs.get("clash_radius", DEFAULT_CLASH_RADIUS)
+            ),
+            dtype=str(kwargs.get("dtype", DEFAULT_DTYPE)),
         )
     else:
         return None

@@ -183,6 +183,32 @@ def _metrics_section(record: RunRecord) -> str:
     )
 
 
+def _field_section(record: RunRecord) -> str:
+    """Render field-scorer telemetry when a run used ``--scoring-method
+    field``: total precomputed-map storage and the fraction of ligand
+    atoms that fell in the exact near-field regime (see
+    :mod:`repro.scoring.field`)."""
+    by_name = {m.get("name"): m for m in record.metrics}
+    size = by_name.get("scoring/field_bytes")
+    near = by_name.get("scoring/near_field_fraction")
+    if size is None and near is None:
+        return ""
+    lines = ["Field scorer"]
+    if size is not None and size.get("value") is not None:
+        lines.append(
+            f"  precomputed maps: {size['value'] / (1024 * 1024):.1f} MiB"
+        )
+    if near is not None:
+        mean = near.get("mean")
+        mx = near.get("max")
+        lines.append(
+            "  near-field (exact-path) atom fraction: "
+            f"mean {_fmt(mean, '.3f')}  max {_fmt(mx, '.3f')} "
+            f"over {int(near.get('count') or 0)} score calls"
+        )
+    return "\n".join(lines)
+
+
 def _checkpoint_section(record: RunRecord) -> str:
     """Render the per-phase checkpoint files, newest last.
 
@@ -373,6 +399,9 @@ def render_summary(run_dir: PathLike) -> str:
         _span_section(record),
         _metrics_section(record),
     ]
+    field_tel = _field_section(record)
+    if field_tel:
+        sections.append(field_tel)
     screening = _screening_section(record)
     if screening:
         sections.append(screening)

@@ -8,6 +8,7 @@ from repro.scoring.composite import interaction_score
 from repro.scoring.grid import PotentialGrid
 from repro.scoring.scorers import (
     GRID_BYTES_METRIC,
+    GRID_OOB_METRIC,
     SCORER_REGISTRY,
     SCORING_METHODS,
     CutoffScorer,
@@ -165,11 +166,90 @@ class TestGridScorer:
         )
 
 
+class TestGridSatellites:
+    """dtype option, out-of-box accounting, cached weight vectors."""
+
+    def test_float32_grid_halves_memory(self, pair):
+        rec, template, coords = pair
+        g64 = PotentialGrid(rec, spacing=1.5)
+        g32 = PotentialGrid(rec, spacing=1.5, dtype="float32")
+        assert g32.phi.dtype == np.float32
+        assert g32.nbytes() * 2 == g64.nbytes()
+        # Interpolation arithmetic stays float64; only storage rounds.
+        s64 = g64.score(template, coords)
+        s32 = g32.score(template, coords)
+        assert s32 == pytest.approx(s64, rel=1e-4)
+
+    def test_invalid_dtype(self, pair):
+        rec, template, _ = pair
+        with pytest.raises(ValueError, match="dtype"):
+            PotentialGrid(rec, spacing=1.5, dtype="float16")
+        with pytest.raises(ValueError, match="dtype"):
+            GridScorer(rec, template, dtype="half").grid
+
+    def test_scorer_dtype_threads_to_grid(self, pair):
+        rec, template, _ = pair
+        scorer = make_scorer(
+            "grid", rec, template, spacing=1.5, dtype="float32"
+        )
+        assert scorer.grid.phi.dtype == np.float32
+
+    def test_oob_points_counted(self, pair):
+        rec, template, coords = pair
+        grid = PotentialGrid(rec, spacing=1.5)
+        assert grid.count_out_of_box(coords) == 0
+        grid.score(template, coords)
+        assert grid.oob_points == 0
+        grid.score(template, coords + 500.0)  # every atom out of box
+        assert grid.oob_points == template.n_atoms
+        mixed = coords.copy()
+        mixed[0] += 500.0
+        grid.score(template, mixed)
+        assert grid.oob_points == template.n_atoms + 1
+
+    def test_oob_gauge_published(self, pair):
+        from repro.telemetry.metrics import MetricsRegistry
+
+        rec, template, coords = pair
+        scorer = GridScorer(rec, template, spacing=1.5)
+        scorer.metrics = MetricsRegistry()
+        scorer.score(coords + 500.0)
+        assert scorer.metrics.get(GRID_OOB_METRIC).value == float(
+            template.n_atoms
+        )
+
+    def test_cached_weights_bitwise(self, pair, rng):
+        # GridScorer precomputes (w12, w6) once; passing them must not
+        # change a single float vs recomputing per call.
+        rec, template, coords = pair
+        grid = PotentialGrid(rec, spacing=1.5)
+        scorer = GridScorer(rec, template, spacing=1.5)
+        w12, w6 = scorer._weights
+        np.testing.assert_array_equal(
+            w12, 4.0 * np.sqrt(template.epsilon) * template.sigma**6
+        )
+        np.testing.assert_array_equal(
+            w6, 4.0 * np.sqrt(template.epsilon) * template.sigma**3
+        )
+        for _ in range(3):
+            pose = coords + rng.normal(scale=1.0, size=coords.shape)
+            assert grid.score(template, pose) == grid.score(
+                template, pose, weights=(w12, w6)
+            )
+        batch = coords[None] + rng.normal(scale=1.0, size=(3, 1, 3))
+        np.testing.assert_array_equal(
+            grid.score_batch(template, batch),
+            grid.score_batch(template, batch, weights=(w12, w6)),
+        )
+
+
 class TestScorerRegistry:
     def test_methods_in_sync_with_config_literal(self):
         # config.py validates scoring_method against a literal set to
         # avoid an import cycle; this pins the two in sync.
-        assert SCORING_METHODS == ("exact", "cutoff", "grid", "incremental")
+        assert SCORING_METHODS == (
+            "exact", "cutoff", "grid", "incremental", "field",
+        )
         assert set(SCORER_REGISTRY) == set(SCORING_METHODS)
 
     def test_unknown_method(self):
