@@ -56,6 +56,24 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trainer(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trainer",
+        default="sync",
+        choices=["sync", "actor-learner"],
+        help="training runtime (actor-learner = N actor processes "
+        "feeding a shared-memory replay through lock-free rings; see "
+        "docs/PARALLELISM.md, 'Actor/learner architecture')",
+    )
+    p.add_argument(
+        "--num-actors",
+        type=int,
+        default=2,
+        metavar="N",
+        help="actor processes for --trainer actor-learner",
+    )
+
+
 def _add_scoring_method(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--scoring-method",
@@ -198,6 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
         "pocket-relative ligand features, ~60x smaller Q input; "
         "see docs/OBSERVATIONS.md)",
     )
+    _add_trainer(p)
     _add_scoring_method(p)
 
     p = sub.add_parser("baselines", help="DQN vs MC vs metaheuristics")
@@ -295,6 +314,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["sync", "async", "auto"],
         help="vector-env backend (async = one worker process per env)",
     )
+    p.add_argument(
+        "--trainer",
+        default="sync",
+        choices=["sync", "actor-learner"],
+        help="curriculum-phase runtime (actor-learner = one actor "
+        "process per training complex; --backend then only affects "
+        "the single-complex baseline)",
+    )
     _add_scoring_method(p)
 
     p = sub.add_parser(
@@ -362,6 +389,8 @@ def _cmd_figure4(args) -> int:
             # getattr: manifests from before the flags existed resume fine.
             scoring_method=getattr(args, "scoring_method", "exact"),
             observation_mode=getattr(args, "observation_mode", "raw"),
+            trainer=getattr(args, "trainer", "sync"),
+            num_actors=getattr(args, "num_actors", 2),
         )
     except ValueError as exc:
         print(f"figure4: {exc}", file=sys.stderr)
@@ -489,6 +518,10 @@ def _cmd_curriculum(args) -> int:
         seed=args.seed,
         learning_rate=0.002,
         scoring_method=getattr(args, "scoring_method", "exact"),
+        trainer=getattr(args, "trainer", "sync"),
+        # One actor per training complex; keeps config validation happy
+        # and makes the broadcast alignment explicit in the manifest.
+        num_actors=max(1, args.complexes),
     )
 
     def work(telemetry, runtime):

@@ -154,6 +154,21 @@ class DQNDockingConfig:
     scoring_kwargs: dict = field(default_factory=dict)
     #: Steps between agent training updates (1 = update every step).
     train_interval: int = 1
+    #: Training runtime: "sync" (one process; the sequential trainer for
+    #: figure4, the vector trainer for curriculum) or "actor-learner"
+    #: (N actor processes feed a learner process through shared-memory
+    #: transition rings; see :mod:`repro.rl.distributed` and
+    #: docs/PARALLELISM.md).
+    trainer: str = "sync"
+    #: Actor processes under ``trainer="actor-learner"``.
+    num_actors: int = 2
+    #: Actors refresh their Q-net sidecar every this many *local* steps
+    #: (so the learner broadcasts every ``num_actors * actor_sync_every``
+    #: global transitions).
+    actor_sync_every: int = 50
+    #: Per-actor transition-ring capacity (slots); a full ring
+    #: backpressures its actor.
+    actor_ring_capacity: int = 256
     #: Loss used for the Bellman residual ("mse" per the paper's Eq.;
     #: "huber" is the DQN-Nature practical choice, offered as an option).
     loss: str = "mse"
@@ -225,6 +240,20 @@ class DQNDockingConfig:
             pass
         else:
             validate_scoring_kwargs(self.scoring_method, self.scoring_kwargs)
+        if self.trainer not in {"sync", "actor-learner"}:
+            raise ValueError(f"unknown trainer {self.trainer!r}")
+        if self.num_actors < 1:
+            raise ValueError("num_actors must be >= 1")
+        if self.actor_sync_every < 1:
+            raise ValueError("actor_sync_every must be >= 1")
+        if self.actor_ring_capacity < 1:
+            raise ValueError("actor_ring_capacity must be >= 1")
+        if self.trainer == "actor-learner" and self.variant == "distributional":
+            raise ValueError(
+                "trainer='actor-learner' does not support the "
+                "distributional variant (the actor sidecar replicates "
+                "plain Q-networks only)"
+            )
         if self.loss not in {"mse", "huber"}:
             raise ValueError(f"unknown loss {self.loss!r}")
         if self.activation not in {"relu", "tanh", "sigmoid", "linear"}:

@@ -67,6 +67,13 @@ def _worker(
     info dicts, and terminal states (small and per-episode, not
     per-step).
     """
+    # Shutdown is coordinated by the parent over the pipe; a SIGINT/
+    # SIGTERM aimed at the process group must not kill (or, via an
+    # inherited ShutdownGuard handler, KeyboardInterrupt) a worker
+    # mid-write and race the parent's shutdown snapshot.
+    from repro.runtime.signals import mask_worker_signals
+
+    mask_worker_signals()
     env = None
     try:
         env = env_fn()

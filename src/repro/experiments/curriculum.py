@@ -74,6 +74,80 @@ def _complex_cfg(cfg: DQNDockingConfig, seed: int):
     return dataclasses.replace(cfg.complex, seed=seed)
 
 
+def _train_curriculum_actor_learner(
+    cfg: DQNDockingConfig,
+    builts,
+    steps: int,
+    *,
+    align: int,
+    tracer=None,
+    registry=None,
+    runtime=None,
+):
+    """Curriculum phase on the actor/learner runtime; returns the agent.
+
+    Each training complex gets its own actor process (the built complex
+    is inherited through fork, so nothing re-builds in the workers);
+    the learner consumes their interleaved transitions round-robin
+    exactly like the lockstep vector path consumes env columns.
+    ``steps`` must already be a multiple of ``align`` (the broadcast
+    cadence ``n_complexes * actor_sync_every``).
+    """
+    from repro.experiments.figure4 import build_agent_for_env
+    from repro.rl.distributed import ActorLearnerTrainer
+    from repro.runtime.loop import RunLoop
+
+    def _env_fn(built):
+        return lambda: make_env(cfg, built)
+
+    probe = make_env(cfg, builts[0])
+    try:
+        spec = getattr(probe, "observation_spec", None)
+        state_dim = int(probe.state_dim)
+        state_dtype = getattr(probe, "state_dtype", np.float64)
+        agent = build_agent_for_env(cfg, probe)
+    finally:
+        probe.close()
+    if tracer is not None:
+        agent.tracer = tracer
+
+    checkpoint_every = (
+        runtime.checkpoint_every if runtime is not None else 0
+    )
+    if checkpoint_every > 0:
+        # checkpoint_every counts env steps here; round to the cadence.
+        segment_steps = max(
+            align,
+            ((checkpoint_every + align - 1) // align) * align,
+        )
+    else:
+        segment_steps = None
+
+    trainer = ActorLearnerTrainer(
+        [_env_fn(b) for b in builts],
+        agent,
+        state_dim=state_dim,
+        state_dtype=state_dtype,
+        sync_every=cfg.actor_sync_every,
+        ring_capacity=cfg.actor_ring_capacity,
+        max_steps_per_episode=cfg.max_steps_per_episode,
+        learning_start=cfg.learning_start,
+        target_update_steps=cfg.target_update_steps,
+        train_interval=cfg.train_interval,
+        observation_spec=spec,
+        tracer=tracer,
+        metrics=registry,
+        seed=cfg.seed,
+    )
+    try:
+        RunLoop(runtime, phase="curriculum").run_steps(
+            trainer, steps, segment_steps=segment_steps
+        )
+    finally:
+        trainer.close()
+    return agent
+
+
 def run_curriculum_experiment(
     cfg: DQNDockingConfig,
     *,
@@ -88,8 +162,13 @@ def run_curriculum_experiment(
 
     The held-out complex's seed is disjoint from every training seed.
     Both regimes see exactly ``total_steps`` environment transitions
-    (default: the config's episodes x max-steps budget).  ``backend``
-    selects the vector-env backend for the curriculum phase; a
+    (default: the config's episodes x max-steps budget; with the
+    actor/learner runtime it rounds up to the broadcast cadence).
+    ``backend`` selects the vector-env backend for the curriculum
+    phase -- unless ``cfg.trainer == "actor-learner"``, which runs the
+    curriculum phase on the multi-process actor/learner runtime with
+    one actor per training complex (the single-complex baseline stays
+    on the sync vector path either way); a
     :class:`repro.telemetry.TelemetryRun` passed as ``telemetry``
     receives the backend's spans and ``vector_env/*`` metrics.
 
@@ -103,6 +182,14 @@ def run_curriculum_experiment(
     if n_train_complexes < 2:
         raise ValueError("curriculum needs at least 2 complexes")
     steps = total_steps or cfg.episodes * cfg.max_steps_per_episode
+    actor_learner = cfg.trainer == "actor-learner"
+    if actor_learner:
+        # One actor process per training complex; the transition budget
+        # rounds up to the weight-broadcast cadence so checkpoint
+        # boundaries stay aligned (both regimes use the rounded budget
+        # to keep the comparison fair).
+        align = n_train_complexes * cfg.actor_sync_every
+        steps = max(align, ((steps + align - 1) // align) * align)
     tracer = telemetry.tracer if telemetry is not None else None
     registry = telemetry.registry if telemetry is not None else None
 
@@ -111,29 +198,42 @@ def run_curriculum_experiment(
     ]
     holdout_seed = cfg.complex.seed + 999999
 
-    # Curriculum agent: N complexes in lockstep.
     builts = [build_complex(_complex_cfg(cfg, s)) for s in train_seeds]
-    venv = make_vector_env(
-        cfg,
-        builts=builts,
-        n_envs=n_train_complexes,
-        backend=backend,
-        tracer=tracer,
-        metrics=registry,
-    )
-    try:
-        curriculum_agent = build_agent(cfg, venv.state_dim, venv.n_actions)
-        vtrainer = VectorTrainer(
-            venv,
-            curriculum_agent,
-            learning_start=cfg.learning_start,
-            target_update_steps=cfg.target_update_steps,
-            train_interval=cfg.train_interval,
+    if actor_learner:
+        curriculum_agent = _train_curriculum_actor_learner(
+            cfg,
+            builts,
+            steps,
+            align=align,
             tracer=tracer,
+            registry=registry,
+            runtime=runtime,
         )
-        RunLoop(runtime, phase="curriculum").run_steps(vtrainer, steps)
-    finally:
-        venv.close()
+    else:
+        # Curriculum agent: N complexes in lockstep.
+        venv = make_vector_env(
+            cfg,
+            builts=builts,
+            n_envs=n_train_complexes,
+            backend=backend,
+            tracer=tracer,
+            metrics=registry,
+        )
+        try:
+            curriculum_agent = build_agent(
+                cfg, venv.state_dim, venv.n_actions
+            )
+            vtrainer = VectorTrainer(
+                venv,
+                curriculum_agent,
+                learning_start=cfg.learning_start,
+                target_update_steps=cfg.target_update_steps,
+                train_interval=cfg.train_interval,
+                tracer=tracer,
+            )
+            RunLoop(runtime, phase="curriculum").run_steps(vtrainer, steps)
+        finally:
+            venv.close()
 
     # Single-complex baseline at the same budget (serial: one env).
     single_built = builts[0]

@@ -189,6 +189,14 @@ def run_figure4_experiment(
     """
     from repro.runtime.loop import RunLoop
 
+    if cfg.trainer == "actor-learner":
+        return _run_figure4_actor_learner(
+            cfg,
+            on_episode_end=on_episode_end,
+            telemetry=telemetry,
+            runtime=runtime,
+            phase=phase,
+        )
     env = make_env(cfg)
     callbacks = []
     tracer = None
@@ -221,3 +229,108 @@ def run_figure4_experiment(
     finally:
         env.close()
     return Figure4Result(config=cfg, history=history, agent=agent)
+
+
+def aligned_step_budget(cfg: DQNDockingConfig) -> tuple[int, int]:
+    """(total_steps, segment_steps) for an actor-learner figure4 run.
+
+    The episode budget ``episodes * max_steps_per_episode`` becomes a
+    transition budget, rounded up to a multiple of ``num_actors *
+    actor_sync_every`` so every checkpoint boundary lands exactly on a
+    weight-broadcast boundary (the alignment
+    :meth:`~repro.rl.distributed.ActorLearnerTrainer.run` enforces).
+    The segment length comes from the runtime's episode-denominated
+    ``checkpoint_every``, converted and rounded the same way.
+    """
+    align = cfg.num_actors * cfg.actor_sync_every
+
+    def round_up(steps: int) -> int:
+        return max(align, ((steps + align - 1) // align) * align)
+
+    total = round_up(cfg.episodes * cfg.max_steps_per_episode)
+    return total, align
+
+
+def _run_figure4_actor_learner(
+    cfg: DQNDockingConfig,
+    *,
+    on_episode_end=None,
+    telemetry=None,
+    runtime=None,
+    phase: str = "figure4",
+) -> Figure4Result:
+    """The figure4 experiment under the actor/learner runtime.
+
+    N actor processes each own an env built by :func:`make_env` over
+    one shared complex (inherited through fork, so the receptor builds
+    once); the learner consumes their transitions round-robin and
+    reconstructs the per-episode Figure 4 series from the ring payloads
+    (see :mod:`repro.rl.distributed`).  Engine spans stay inside the
+    actor processes and are not merged into the parent's telemetry;
+    the per-actor throughput metrics cover that ground instead.
+    """
+    from repro.chem.builders import build_complex
+    from repro.rl.distributed import ActorLearnerTrainer
+    from repro.runtime.loop import RunLoop
+
+    built = build_complex(cfg.complex)
+
+    def env_fn():
+        return make_env(cfg, built)
+
+    # Probe once in the parent for the codec geometry the agent and the
+    # transition rings must match; actors rebuild their own envs.
+    probe = make_env(cfg, built)
+    try:
+        spec = getattr(probe, "observation_spec", None)
+        state_dim = int(probe.state_dim)
+        state_dtype = getattr(probe, "state_dtype", np.float64)
+        agent = build_agent_for_env(cfg, probe)
+    finally:
+        probe.close()
+
+    tracer = None
+    metrics = None
+    if telemetry is not None:
+        tracer = telemetry.tracer
+        metrics = telemetry.registry
+        agent.tracer = tracer
+
+    total_steps, segment_align = aligned_step_budget(cfg)
+    checkpoint_every = (
+        runtime.checkpoint_every if runtime is not None else 0
+    )
+    if checkpoint_every > 0:
+        # The CLI flag counts episodes; convert and align.
+        raw = checkpoint_every * cfg.max_steps_per_episode
+        segment_steps = max(
+            segment_align,
+            ((raw + segment_align - 1) // segment_align) * segment_align,
+        )
+    else:
+        segment_steps = None
+
+    trainer = ActorLearnerTrainer(
+        [env_fn] * cfg.num_actors,
+        agent,
+        state_dim=state_dim,
+        state_dtype=state_dtype,
+        sync_every=cfg.actor_sync_every,
+        ring_capacity=cfg.actor_ring_capacity,
+        max_steps_per_episode=cfg.max_steps_per_episode,
+        learning_start=cfg.learning_start,
+        target_update_steps=cfg.target_update_steps,
+        train_interval=cfg.train_interval,
+        observation_spec=spec,
+        tracer=tracer,
+        metrics=metrics,
+        seed=cfg.seed,
+        on_episode_end=on_episode_end,
+    )
+    try:
+        RunLoop(runtime, phase=phase).run_steps(
+            trainer, total_steps, segment_steps=segment_steps
+        )
+    finally:
+        trainer.close()
+    return Figure4Result(config=cfg, history=trainer.history, agent=agent)

@@ -23,8 +23,10 @@ from repro.rl.evaluation import (
     PeriodicEvaluator,
     evaluate_policy,
 )
+from repro.rl.learner import LearnerCore
 from repro.rl.nstep import NStepTransitionBuffer
 from repro.rl.vector_trainer import VectorTrainer, VectorRunStats
+from repro.rl.distributed import ActorLearnerTrainer
 
 __all__ = [
     "ReplayMemory",
@@ -43,7 +45,9 @@ __all__ = [
     "EvaluationResult",
     "PeriodicEvaluator",
     "evaluate_policy",
+    "LearnerCore",
     "NStepTransitionBuffer",
     "VectorTrainer",
     "VectorRunStats",
+    "ActorLearnerTrainer",
 ]

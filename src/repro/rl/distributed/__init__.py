@@ -1,0 +1,21 @@
+"""Multi-process actor/learner training runtime (Ape-X-shaped).
+
+N actor processes -- each owning its own environment, engine, scorer,
+and an epsilon-greedy sidecar of the Q-network -- push transitions
+through lock-free shared-memory rings
+(:class:`~repro.env.comm.TransitionRing`) into the learner's replay,
+while the learner broadcasts refreshed weights through a versioned
+:class:`~repro.rl.distributed.weights.SharedWeightBlock`.  The whole
+pipeline is deterministic by construction (round-robin consumption +
+scheduled weight versions), so interrupt/resume stays bit-exact.  See
+docs/PARALLELISM.md, "Actor/learner architecture".
+"""
+
+from repro.rl.distributed.trainer import ActorDiedError, ActorLearnerTrainer
+from repro.rl.distributed.weights import SharedWeightBlock
+
+__all__ = [
+    "ActorDiedError",
+    "ActorLearnerTrainer",
+    "SharedWeightBlock",
+]

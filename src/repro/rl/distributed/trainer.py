@@ -1,0 +1,600 @@
+"""The learner process of the actor/learner training runtime.
+
+:class:`ActorLearnerTrainer` spawns N actor processes (fork start
+method: env thunks, transition rings, the weight block, and the sidecar
+networks are inherited, not pickled), then consumes their transitions
+into the agent's replay and drives gradient updates through the shared
+:class:`~repro.rl.learner.LearnerCore` -- the exact update density of
+the sequential and vector trainers at equal transition counts.
+
+Determinism is the design center (docs/PARALLELISM.md has the full
+argument):
+
+- transitions enter the replay in **round-robin** order -- transition
+  number ``g`` comes from actor ``g % N`` at its local step ``g // N``
+  -- so replay contents, learn cadence, and RNG consumption are
+  identical run-to-run regardless of OS scheduling;
+- weights are broadcast on a fixed schedule: version ``k`` is published
+  when the consumed count crosses ``k * N * sync_every`` and actor
+  ``a`` blocking-fetches exactly version ``k`` before its local step
+  ``k * sync_every`` (the schedule is deadlock-free: every transition
+  an actor must produce before the learner can publish version ``k``
+  only needs versions ``< k``);
+- segments (one ``run`` call each) give every actor an exact quota of
+  ``(total - start) / N`` transitions, so rings drain to empty at every
+  boundary and a checkpoint needs only the actor RNG streams and
+  counters -- never in-flight ring contents.
+
+Prefetch: while blocked on the round-robin-next actor's ring, the
+learner opportunistically drains *every* ring into per-actor pending
+queues, freeing slots early (less backpressure) and keeping batches
+ready; the time it still spends blocked is the ``learner-idle-fraction``
+telemetry gauge.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from collections import deque
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.env.comm import TransitionRing
+from repro.rl.distributed.actor import actor_worker
+from repro.rl.distributed.weights import SharedWeightBlock
+from repro.rl.learner import LearnerCore
+from repro.rl.trainer import EpisodeStats, TrainingHistory
+from repro.rl.vector_trainer import VectorRunStats
+from repro.telemetry.spans import SpanTracer
+
+#: Seconds to wait for an actor to come up / acknowledge a command.
+_ACTOR_TIMEOUT = 120.0
+
+#: Metric-name prefix for all actor/learner telemetry.
+METRIC_PREFIX = "actor_learner"
+
+
+class ActorDiedError(RuntimeError):
+    """An actor process exited outside the shutdown protocol."""
+
+
+class _EpisodeAccum:
+    """Per-actor in-progress episode aggregates (learner-side)."""
+
+    __slots__ = (
+        "steps", "total_reward", "max_q_sum", "best_score",
+        "final_score", "min_rmsd", "start_learn_steps",
+    )
+
+    def __init__(self, start_learn_steps: int):
+        self.steps = 0
+        self.total_reward = 0.0
+        self.max_q_sum = 0.0
+        self.best_score = float("-inf")
+        self.final_score = float("nan")
+        self.min_rmsd = float("nan")
+        self.start_learn_steps = start_learn_steps
+
+
+class ActorLearnerTrainer:
+    """N actor processes feeding one learner through shared memory.
+
+    Parameters
+    ----------
+    env_fns:
+        One environment thunk per actor (each builds its *own* env +
+        engine + scorer inside the child).
+    agent:
+        The learner-side :class:`~repro.rl.agent.DQNAgent` (owns replay,
+        optimizer, and both networks).  Distributional and noisy agents
+        are not supported -- the sidecar replicates plain Q-networks.
+    state_dim / state_dtype:
+        Shape/dtype of the states the envs *emit* (the tail dimension in
+        compact mode); sizes the per-actor transition rings.
+    sync_every:
+        Actor-local steps between sidecar weight refreshes.
+    ring_capacity:
+        Slots per actor ring; a full ring backpressures its actor.
+    max_steps_per_episode:
+        Actor-local episode truncation (Table 1's T); the learner
+        reconstructs the same boundaries from its own step counts.
+    learning_start / target_update_steps / train_interval:
+        The shared :class:`~repro.rl.learner.LearnerCore` cadence.
+    observation_spec:
+        Optional codec spec; exposed for checkpoint validation.
+    metrics:
+        Optional :class:`~repro.telemetry.metrics.MetricsRegistry` for
+        the per-actor telemetry.
+    """
+
+    def __init__(
+        self,
+        env_fns: Sequence[Callable],
+        agent,
+        *,
+        state_dim: int,
+        state_dtype=np.float64,
+        sync_every: int = 50,
+        ring_capacity: int = 256,
+        max_steps_per_episode: int,
+        learning_start: int = 0,
+        target_update_steps: int = 1000,
+        train_interval: int = 1,
+        observation_spec=None,
+        tracer: SpanTracer | None = None,
+        metrics=None,
+        seed: int = 0,
+        on_episode_end=None,
+    ):
+        if not env_fns:
+            raise ValueError("need at least one env_fn")
+        if sync_every < 1:
+            raise ValueError("sync_every must be >= 1")
+        if ring_capacity < 1:
+            raise ValueError("ring_capacity must be >= 1")
+        if max_steps_per_episode < 1:
+            raise ValueError("max_steps_per_episode must be >= 1")
+        if type(agent).__name__ == "DistributionalDQNAgent":
+            raise ValueError(
+                "actor-learner training does not support the "
+                "distributional agent"
+            )
+        if getattr(agent.config, "noisy", False):
+            raise ValueError(
+                "actor-learner training does not support NoisyNet "
+                "exploration (sidecar noise state cannot be replicated)"
+            )
+        self.env_fns = list(env_fns)
+        self.num_actors = len(self.env_fns)
+        self.agent = agent
+        self.core = LearnerCore(
+            agent,
+            learning_start=learning_start,
+            target_update_steps=target_update_steps,
+            train_interval=train_interval,
+        )
+        self.state_dim = int(state_dim)
+        self.state_dtype = np.dtype(state_dtype)
+        self.sync_every = int(sync_every)
+        self.ring_capacity = int(ring_capacity)
+        self.max_steps = int(max_steps_per_episode)
+        self.observation_spec = observation_spec
+        self.tracer = tracer
+        self.metrics = metrics
+        self.seed = int(seed)
+        self.on_episode_end = on_episode_end
+        #: Global transitions between weight broadcasts.
+        self.publish_every = self.num_actors * self.sync_every
+        self.history = TrainingHistory()
+        self._episode_index = 0
+        self._weight_version = -1  # latest published version
+        self._actor_rng: list = [None] * self.num_actors
+        self._procs: list | None = None
+        self._conns: list = []
+        self._rings: list[TransitionRing] = []
+        self._weights: SharedWeightBlock | None = None
+        self._closed = False
+
+    # -- properties shared with the other trainers ------------------------
+    @property
+    def learning_start(self) -> int:
+        return self.core.learning_start
+
+    @property
+    def target_update_steps(self) -> int:
+        return self.core.target_update_steps
+
+    @property
+    def train_interval(self) -> int:
+        return self.core.train_interval
+
+    @property
+    def worker_restarts(self) -> int:
+        """Actor respawns (always 0: a dead actor fails the run)."""
+        return 0
+
+    # -- process management -----------------------------------------------
+    def _ensure_spawned(self) -> None:
+        if self._procs is not None:
+            return
+        if self._closed:
+            raise RuntimeError("trainer already closed")
+        ctx = mp.get_context("fork")
+        params = self.agent.q_net.params()
+        self._weights = SharedWeightBlock(
+            [p.shape for p in params],
+            self.num_actors,
+            dtype=params[0].dtype,
+        )
+        self._rings = [
+            TransitionRing(
+                self.state_dim,
+                self.ring_capacity,
+                state_dtype=self.state_dtype,
+            )
+            for _ in range(self.num_actors)
+        ]
+        policy = self.agent.policy
+        static = self.agent.static_state
+        self._procs = []
+        self._conns = []
+        for i in range(self.num_actors):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=actor_worker,
+                args=(
+                    i,
+                    self.num_actors,
+                    self.env_fns[i],
+                    self._rings[i],
+                    self._weights,
+                    child_conn,
+                    # Sidecar: structure cloned pre-fork, weights
+                    # overwritten by versioned fetches in the child.
+                    self.agent.q_net.clone(),
+                ),
+                kwargs=dict(
+                    schedule=policy.schedule,
+                    exploration_steps=policy.exploration_steps,
+                    n_actions=policy.n_actions,
+                    sync_every=self.sync_every,
+                    max_steps_per_episode=self.max_steps,
+                    seed=self.seed,
+                    static_state=static,
+                    full_dim=self.agent.config.state_dim,
+                ),
+                daemon=True,
+                name=f"repro-actor-{i}",
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        for i, conn in enumerate(self._conns):
+            self._expect(i, "ready", timeout=_ACTOR_TIMEOUT)
+
+    def _expect(self, index: int, expected: str, *, timeout: float):
+        conn = self._conns[index]
+        deadline = time.monotonic() + timeout
+        while not conn.poll(0.05):
+            if not self._procs[index].is_alive():
+                raise ActorDiedError(
+                    f"actor {index} died before sending {expected!r} "
+                    f"(exitcode {self._procs[index].exitcode})"
+                )
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"actor {index}: no {expected!r} within {timeout}s"
+                )
+        tag, payload = conn.recv()
+        if tag == "error":
+            raise ActorDiedError(f"actor {index} failed:\n{payload}")
+        if tag != expected:
+            raise ActorDiedError(
+                f"actor {index}: expected {expected!r}, got {tag!r}"
+            )
+        return payload
+
+    def _raise_if_dead(self, index: int) -> None:
+        proc = self._procs[index]
+        if proc.is_alive():
+            return
+        detail = ""
+        try:
+            if self._conns[index].poll(0):
+                tag, payload = self._conns[index].recv()
+                if tag == "error":
+                    detail = f":\n{payload}"
+        except (EOFError, OSError):
+            pass
+        raise ActorDiedError(
+            f"actor {index} died mid-segment "
+            f"(exitcode {proc.exitcode}){detail}"
+        )
+
+    def close(self) -> None:
+        """Tear the actor fleet down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._weights is not None:
+            # Unblocks actors waiting in fetch() or a backpressured
+            # push(); they exit through their shutdown path.
+            self._weights.request_stop()
+        if self._procs is not None:
+            for conn in self._conns:
+                try:
+                    conn.send(("close", None))
+                except (BrokenPipeError, OSError):
+                    pass
+            for proc in self._procs:
+                proc.join(timeout=2.0)
+            for proc in self._procs:
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    # Workers ignore SIGTERM by design; go straight to
+                    # SIGKILL.
+                    proc.kill()
+                    proc.join(timeout=1.0)
+            for conn in self._conns:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+        self._procs = None
+        self._conns = []
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- the segment loop -------------------------------------------------
+    def run(self, total_steps: int, *, start_step: int = 0) -> VectorRunStats:
+        """Consume one segment: transitions ``start_step .. total_steps``.
+
+        Alignment contract (validated here, arranged by the drivers):
+        the segment length divides evenly across actors, and
+        ``start_step`` sits on a weight-broadcast boundary so resumed
+        actors re-fetch exactly the version the checkpoint weights
+        correspond to.
+        """
+        if total_steps < 1:
+            raise ValueError("total_steps must be >= 1")
+        if not 0 <= start_step < total_steps:
+            raise ValueError("start_step must lie in [0, total_steps)")
+        segment = total_steps - start_step
+        if segment % self.num_actors != 0:
+            raise ValueError(
+                f"segment length {segment} must be a multiple of "
+                f"num_actors={self.num_actors}"
+            )
+        if start_step % self.publish_every != 0:
+            raise ValueError(
+                f"start_step {start_step} must be a multiple of "
+                f"num_actors * sync_every = {self.publish_every} "
+                "(checkpoint boundaries align with weight broadcasts)"
+            )
+        tracer = self.tracer if self.tracer is not None else SpanTracer()
+        self._ensure_spawned()
+        n = self.num_actors
+        quota = segment // n
+
+        # Republish the weights actors must start this segment from.
+        # Idempotent: at a fresh start this is version 0 = the initial
+        # weights; at a resume it is the checkpoint-boundary version.
+        v0 = start_step // self.publish_every
+        self._weights.publish(v0, self.agent.q_net.params())
+        self._weight_version = v0
+
+        for i, conn in enumerate(self._conns):
+            conn.send(
+                (
+                    "segment",
+                    {
+                        "quota": quota,
+                        "start_local_step": start_step // n,
+                        "rng_state": self._actor_rng[i],
+                    },
+                )
+            )
+
+        pending: list[deque] = [deque() for _ in range(n)]
+        accums = [
+            _EpisodeAccum(self.agent.learn_steps) for _ in range(n)
+        ]
+        consumed = start_step
+        best_score = float("-inf")
+        reward_sum = 0.0
+        episodes = 0
+        idle_seconds = 0.0
+        t0 = time.perf_counter()
+        seg_pushed = [0] * n
+
+        with tracer.span("actor-learner-segment"):
+            while consumed < total_steps:
+                a = consumed % n
+                if not pending[a]:
+                    # Prefetch: drain every ring while we are here, so
+                    # slots free up even for actors we are not blocked
+                    # on.
+                    with tracer.span("drain"):
+                        for j, ring in enumerate(self._rings):
+                            batch = ring.drain()
+                            if batch:
+                                pending[j].extend(batch)
+                    if not pending[a]:
+                        wait_start = time.perf_counter()
+                        while not pending[a]:
+                            batch = self._rings[a].drain()
+                            if batch:
+                                pending[a].extend(batch)
+                                break
+                            self._raise_if_dead(a)
+                            time.sleep(1e-4)
+                        idle_seconds += time.perf_counter() - wait_start
+                rec = pending[a].popleft()
+                seg_pushed[a] += 1
+                with tracer.span("remember"):
+                    self.agent.remember(
+                        rec.state,
+                        int(rec.action),
+                        float(rec.reward),
+                        rec.next_state,
+                        bool(rec.done),
+                    )
+                reward_sum += rec.reward
+                self._fold_episode_step(a, rec, accums, consumed)
+                if np.isfinite(rec.score):
+                    best_score = max(best_score, rec.score)
+                prev = consumed
+                consumed += 1
+                self.core.advance(prev, consumed, tracer)
+                if consumed % self.publish_every == 0:
+                    k = consumed // self.publish_every
+                    self._weights.publish(k, self.agent.q_net.params())
+                    self._weight_version = k
+                # Episode boundary reconstruction (same rule the actor
+                # applies locally: env-terminal or the step cap).
+                acc = accums[a]
+                if rec.done or acc.steps >= self.max_steps:
+                    self._close_episode(
+                        a,
+                        accums,
+                        consumed,
+                        "terminal" if rec.done else "time-limit",
+                    )
+                    episodes += 1
+
+        # Segment complete: collect the authoritative RNG streams and
+        # verify the deterministic drain-to-empty invariant.
+        for i in range(n):
+            payload = self._expect(i, "done", timeout=_ACTOR_TIMEOUT)
+            self._actor_rng[i] = payload["rng_state"]
+        for i, ring in enumerate(self._rings):
+            if len(ring) != 0:  # pragma: no cover - protocol violation
+                raise RuntimeError(
+                    f"ring {i} holds {len(ring)} transitions after a "
+                    "fully consumed segment"
+                )
+        # Partial episodes are closed at the boundary (the next segment
+        # starts from env.reset(), mirroring RunLoop.run_steps).
+        for a in range(n):
+            if accums[a].steps > 0:
+                self._close_episode(a, accums, consumed, "segment-boundary")
+
+        wall = time.perf_counter() - t0
+        self.history.total_steps = consumed
+        self.history.wall_seconds += wall
+        self.history.timer_report = tracer.report()
+        self._record_metrics(seg_pushed, wall, idle_seconds, consumed)
+        return VectorRunStats(
+            total_steps=consumed,
+            episodes_completed=episodes,
+            best_score=(
+                best_score if np.isfinite(best_score) else float("nan")
+            ),
+            mean_reward=reward_sum / max(segment, 1),
+            wall_seconds=wall,
+            steps_per_second=segment / max(wall, 1e-9),
+            timer_report=tracer.report(),
+            worker_restarts=0,
+        )
+
+    # -- episode reconstruction -------------------------------------------
+    def _fold_episode_step(
+        self, a: int, rec, accums: list, consumed: int
+    ) -> None:
+        acc = accums[a]
+        acc.steps += 1
+        acc.total_reward += rec.reward
+        acc.max_q_sum += rec.max_q
+        if np.isfinite(rec.score):
+            acc.best_score = max(acc.best_score, rec.score)
+            acc.final_score = rec.score
+        if np.isfinite(rec.crystal_rmsd):
+            acc.min_rmsd = (
+                rec.crystal_rmsd
+                if np.isnan(acc.min_rmsd)
+                else min(acc.min_rmsd, rec.crystal_rmsd)
+            )
+        if self.metrics is not None:
+            self.metrics.inc(f"{METRIC_PREFIX}/transitions-actor{a}")
+            # Staleness of the weights the acting sidecar used for this
+            # transition, in global transitions.
+            version = (consumed // self.num_actors) // self.sync_every
+            self.metrics.observe(
+                f"{METRIC_PREFIX}/weight-staleness-steps",
+                consumed - version * self.publish_every,
+            )
+
+    def _close_episode(
+        self, a: int, accums: list, consumed: int, termination: str
+    ) -> None:
+        acc = accums[a]
+        stats = EpisodeStats(
+            episode=self._episode_index,
+            steps=acc.steps,
+            total_reward=acc.total_reward,
+            avg_max_q=acc.max_q_sum / max(acc.steps, 1),
+            best_score=acc.best_score,
+            final_score=acc.final_score,
+            epsilon=self.core.epsilon(consumed),
+            mean_loss=float("nan"),
+            learning_active=self.agent.learn_steps > acc.start_learn_steps,
+            termination=termination,
+            min_crystal_rmsd=acc.min_rmsd,
+        )
+        self._episode_index += 1
+        self.history.episodes.append(stats)
+        if self.on_episode_end is not None:
+            self.on_episode_end(stats)
+        accums[a] = _EpisodeAccum(self.agent.learn_steps)
+
+    # -- telemetry ---------------------------------------------------------
+    def _record_metrics(
+        self,
+        seg_pushed: list[int],
+        wall: float,
+        idle_seconds: float,
+        consumed: int,
+    ) -> None:
+        if self.metrics is None:
+            return
+        m = self.metrics
+        for i, ring in enumerate(self._rings):
+            m.set(f"{METRIC_PREFIX}/ring-depth-actor{i}", len(ring))
+            m.set(
+                f"{METRIC_PREFIX}/transitions-per-second-actor{i}",
+                seg_pushed[i] / max(wall, 1e-9),
+            )
+            m.set(
+                f"{METRIC_PREFIX}/ring-full-waits-actor{i}",
+                ring.full_waits,
+            )
+        m.set(
+            f"{METRIC_PREFIX}/learner-idle-fraction",
+            idle_seconds / max(wall, 1e-9),
+        )
+        m.set(f"{METRIC_PREFIX}/weight-version", self._weight_version)
+        m.set(f"{METRIC_PREFIX}/num-actors", self.num_actors)
+        m.set(f"{METRIC_PREFIX}/consumed-transitions", consumed)
+
+    # -- checkpointing -----------------------------------------------------
+    def state_dict(self) -> dict:
+        """Distributed-trainer state for full-run checkpoints.
+
+        Rings are empty at every segment boundary by construction, so
+        only the actor RNG streams, the broadcast version counter, and
+        the reconstructed episode history need to persist (the agent's
+        own state travels separately via ``agent.state_dict()``).
+        """
+        from repro.utils.serialization import _to_jsonable
+
+        return {
+            "num_actors": self.num_actors,
+            "sync_every": self.sync_every,
+            "weight_version": self._weight_version,
+            "episode_index": self._episode_index,
+            "actor_rng": _to_jsonable(list(self._actor_rng)),
+            "history": _to_jsonable(self.history),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (validated)."""
+        from repro.nn.checkpoints import CheckpointMismatchError
+        from repro.runtime.loop import _history_from_meta
+        from repro.utils.serialization import _from_jsonable
+
+        for name in ("num_actors", "sync_every"):
+            if int(state.get(name, -1)) != getattr(self, name):
+                raise CheckpointMismatchError(
+                    f"actor-learner {name} mismatch: checkpoint "
+                    f"{state.get(name)} vs trainer {getattr(self, name)}"
+                )
+        self._weight_version = int(state["weight_version"])
+        self._episode_index = int(state["episode_index"])
+        self._actor_rng = list(_from_jsonable(state["actor_rng"]))
+        self.history = _history_from_meta(state["history"])

@@ -1,0 +1,118 @@
+"""The shared learn-step / target-sync / epsilon-schedule core.
+
+Every trainer in the repo -- the sequential :class:`~repro.rl.trainer.
+Trainer`, the batched :class:`~repro.rl.vector_trainer.VectorTrainer`,
+and the multi-process :class:`~repro.rl.distributed.ActorLearnerTrainer`
+-- must apply *exactly* the same update cadence so runs are comparable
+at equal transition counts: one gradient step per ``train_interval``
+environment transitions once ``learning_start`` transitions have been
+collected, and one target-network sync per ``target_update_steps``
+transitions.
+
+:class:`LearnerCore` owns that cadence in one place.  The update count
+for a step-counter move from ``prev_step`` to ``new_step`` is the number
+of multiples of the interval *crossed*::
+
+    updates = new_step // interval - prev_step // interval
+
+For the sequential trainer (``new_step == prev_step + 1``) this is 1
+exactly when ``new_step % interval == 0`` -- bit-identical to the
+historical inline check -- while vector and actor/learner trainers
+advance the counter by N per call and get the same update density.
+Seeded pins in ``tests/test_learner_core.py`` hold both old trainers to
+bit-equality with their pre-extraction behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.telemetry.spans import SpanTracer
+
+
+class LearnerCore:
+    """Cadence-correct learn/target-sync driver around one agent.
+
+    Parameters
+    ----------
+    agent:
+        Any agent with ``can_learn()``, ``learn()``, ``sync_target()``,
+        ``predict_q()`` and a ``policy`` (``repro.rl.agent.DQNAgent``
+        and the distributional agent both qualify).
+    learning_start:
+        Global transitions of pure experience collection before any
+        gradient step (Algorithm 2's warm-up).
+    target_update_steps:
+        Table 1's C -- target sync period in global transitions.
+    train_interval:
+        One gradient step per this many global transitions.
+    """
+
+    def __init__(
+        self,
+        agent,
+        *,
+        learning_start: int = 0,
+        target_update_steps: int = 1000,
+        train_interval: int = 1,
+    ):
+        self.agent = agent
+        self.learning_start = int(learning_start)
+        self.target_update_steps = max(1, int(target_update_steps))
+        self.train_interval = max(1, int(train_interval))
+
+    def advance(
+        self,
+        prev_step: int,
+        new_step: int,
+        tracer: SpanTracer | None = None,
+    ) -> list:
+        """Run the updates owed by the move ``prev_step -> new_step``.
+
+        Returns the list of :class:`~repro.rl.agent.LearnInfo` records
+        from the gradient steps taken (possibly empty).  Learns run
+        before target syncs, matching both historical trainers.
+        """
+        infos: list = []
+        if new_step >= self.learning_start and self.agent.can_learn():
+            updates = (
+                new_step // self.train_interval
+                - prev_step // self.train_interval
+            )
+            for _ in range(updates):
+                if tracer is not None:
+                    with tracer.span("learn"):
+                        infos.append(self.agent.learn())
+                else:
+                    infos.append(self.agent.learn())
+        syncs = (
+            new_step // self.target_update_steps
+            - prev_step // self.target_update_steps
+        )
+        for _ in range(syncs):
+            self.agent.sync_target()
+        return infos
+
+    def epsilon(self, global_step: int) -> float:
+        """The exploration rate at ``global_step`` (policy schedule)."""
+        return float(self.agent.policy.epsilon(global_step))
+
+    def select_actions(
+        self, states: np.ndarray, global_step: int
+    ) -> np.ndarray:
+        """Batched epsilon-greedy: one forward for all N states.
+
+        Draw order (one ``uniform(size=n)`` then one
+        ``integers(size=n)`` from the policy RNG) is pinned -- the
+        vector trainer's bit-equality tests depend on it.
+        """
+        # predict_q (not q_net.predict): expands compact dynamic tails
+        # back to full states when the agent runs in compact mode.
+        q = self.agent.predict_q(states)  # (n, actions)
+        greedy = np.argmax(q, axis=1)
+        policy = self.agent.policy
+        eps = policy.epsilon(global_step)
+        n = states.shape[0]
+        random_mask = policy.rng.uniform(size=n) < eps
+        random_actions = policy.rng.integers(policy.n_actions, size=n)
+        return np.where(random_mask, random_actions, greedy)

@@ -15,6 +15,7 @@ from typing import Protocol, Sequence
 
 import numpy as np
 
+from repro.rl.learner import LearnerCore
 from repro.telemetry.callbacks import CallbackList, StepInfo, TrainerCallback
 from repro.telemetry.spans import SpanTracer
 from repro.utils.ascii_plot import ascii_line_plot, sparkline
@@ -173,12 +174,30 @@ class Trainer:
         self.agent = agent
         self.episodes = int(episodes)
         self.max_steps = int(max_steps_per_episode)
-        self.learning_start = int(learning_start)
-        self.target_update_steps = max(1, int(target_update_steps))
-        self.train_interval = max(1, int(train_interval))
+        # All update cadence (learn / target-sync / epsilon) lives in
+        # the shared LearnerCore so every trainer applies Algorithm 2's
+        # schedule identically.
+        self.core = LearnerCore(
+            agent,
+            learning_start=learning_start,
+            target_update_steps=target_update_steps,
+            train_interval=train_interval,
+        )
         self.on_episode_end = on_episode_end
         self.callbacks = CallbackList(callbacks)
         self.tracer = tracer
+
+    @property
+    def learning_start(self) -> int:
+        return self.core.learning_start
+
+    @property
+    def target_update_steps(self) -> int:
+        return self.core.target_update_steps
+
+    @property
+    def train_interval(self) -> int:
+        return self.core.train_interval
 
     def run(
         self,
@@ -248,18 +267,13 @@ class Trainer:
                     global_step += 1
                     steps += 1
                     step_loss = float("nan")
-                    if (
-                        global_step >= self.learning_start
-                        and self.agent.can_learn()
-                        and global_step % self.train_interval == 0
-                    ):
-                        with tracer.span("learn"):
-                            learn_info = self.agent.learn()
-                        losses.append(learn_info.loss)
-                        step_loss = learn_info.loss
+                    learn_infos = self.core.advance(
+                        global_step - 1, global_step, tracer
+                    )
+                    if learn_infos:
+                        losses.append(learn_infos[-1].loss)
+                        step_loss = learn_infos[-1].loss
                         learning_active = True
-                    if global_step % self.target_update_steps == 0:
-                        self.agent.sync_target()
                     if done:
                         termination = info.get("termination", "terminal")
                     if notify:

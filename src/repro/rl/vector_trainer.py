@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.env.protocol import VectorEnv
+from repro.rl.learner import LearnerCore
 from repro.telemetry.spans import SpanTracer
 
 
@@ -63,25 +64,33 @@ class VectorTrainer:
     ):
         self.venv = venv
         self.agent = agent
-        self.learning_start = int(learning_start)
-        self.target_update_steps = max(1, int(target_update_steps))
-        self.train_interval = max(1, int(train_interval))
+        # Update cadence (learn / target-sync / epsilon) is shared with
+        # every other trainer through the LearnerCore.
+        self.core = LearnerCore(
+            agent,
+            learning_start=learning_start,
+            target_update_steps=target_update_steps,
+            train_interval=train_interval,
+        )
         self.tracer = tracer
+
+    @property
+    def learning_start(self) -> int:
+        return self.core.learning_start
+
+    @property
+    def target_update_steps(self) -> int:
+        return self.core.target_update_steps
+
+    @property
+    def train_interval(self) -> int:
+        return self.core.train_interval
 
     def _select_actions(
         self, states: np.ndarray, global_step: int
     ) -> np.ndarray:
-        """Batched epsilon-greedy: one forward for all N states."""
-        # predict_q (not q_net.predict): expands compact dynamic tails
-        # back to full states when the agent runs in compact mode.
-        q = self.agent.predict_q(states)  # (n, actions)
-        greedy = np.argmax(q, axis=1)
-        policy = self.agent.policy
-        eps = policy.epsilon(global_step)
-        n = states.shape[0]
-        random_mask = policy.rng.uniform(size=n) < eps
-        random_actions = policy.rng.integers(policy.n_actions, size=n)
-        return np.where(random_mask, random_actions, greedy)
+        """Batched epsilon-greedy (delegates to the LearnerCore)."""
+        return self.core.select_actions(states, global_step)
 
     def run(self, total_steps: int, *, start_step: int = 0) -> VectorRunStats:
         """Collect transitions until ``total_steps`` (summed across envs).
@@ -135,25 +144,9 @@ class VectorTrainer:
             states = next_states
             prev_step = global_step
             global_step += n
-            if (
-                global_step >= self.learning_start
-                and self.agent.can_learn()
-            ):
-                # One learn per train_interval transitions, matching the
-                # sequential trainer's update density.
-                updates = (
-                    global_step // self.train_interval
-                    - prev_step // self.train_interval
-                )
-                for _ in range(updates):
-                    with tracer.span("learn"):
-                        self.agent.learn()
-            syncs = (
-                global_step // self.target_update_steps
-                - prev_step // self.target_update_steps
-            )
-            for _ in range(syncs):
-                self.agent.sync_target()
+            # One learn per train_interval transitions, matching the
+            # sequential trainer's update density.
+            self.core.advance(prev_step, global_step, tracer)
         wall = time.perf_counter() - t0
         segment_steps = global_step - start_step
         return VectorRunStats(

@@ -294,15 +294,27 @@ class RunLoop:
         self.phase = str(phase)
 
     # -- shared state capture ---------------------------------------------
-    def _capture(self, agent) -> dict:
+    def _capture(self, agent, trainer=None) -> dict:
         state = {"agent": agent.state_dict()}
+        # Trainers with distributed state of their own (actor RNG
+        # streams, weight-version counters -- see
+        # repro.rl.distributed.ActorLearnerTrainer) ride along under a
+        # "trainer" subtree; classic trainers contribute nothing.
+        if trainer is not None and hasattr(trainer, "state_dict"):
+            state["trainer"] = trainer.state_dict()
         rt = self.runtime
         if rt is not None and rt.telemetry is not None:
             state["telemetry"] = rt.telemetry.registry.state_dict()
         return state
 
-    def _restore(self, agent, state: dict) -> None:
+    def _restore(self, agent, state: dict, trainer=None) -> None:
         agent.load_state_dict(state["agent"])
+        if (
+            trainer is not None
+            and "trainer" in state
+            and hasattr(trainer, "load_state_dict")
+        ):
+            trainer.load_state_dict(state["trainer"])
         rt = self.runtime
         if rt is not None and rt.telemetry is not None:
             if "telemetry" in state:
@@ -375,16 +387,22 @@ class RunLoop:
         snapshot(trainer.episodes, history.total_steps, complete=True)
         return history
 
-    # -- step-mode (VectorTrainer) ----------------------------------------
-    def run_steps(self, vtrainer, total_steps: int):
-        """Run a :class:`~repro.rl.vector_trainer.VectorTrainer`.
+    # -- step-mode (VectorTrainer / ActorLearnerTrainer) ------------------
+    def run_steps(self, vtrainer, total_steps: int, *, segment_steps=None):
+        """Run a step-driven trainer (vector or actor/learner).
 
         With a runtime, collection happens in fixed segments of
         ``checkpoint_every`` environment steps (one big segment when 0);
-        every segment boundary resets the venv, flushes n-step windows,
+        every segment boundary resets the envs, flushes n-step windows,
         and writes a checkpoint -- making the segmentation part of the
         run's definition, so interrupted-and-resumed runs equal
-        uninterrupted ones exactly.
+        uninterrupted ones exactly.  ``segment_steps`` overrides the
+        segment length -- the actor/learner driver uses it to align
+        checkpoint boundaries with weight-broadcast boundaries (see
+        docs/PARALLELISM.md).  Trainers exposing ``state_dict`` /
+        ``load_state_dict`` (the actor/learner trainer's RNG streams and
+        version counter) have that state checkpointed and restored
+        alongside the agent.
         """
         rt = self.runtime
         if rt is None:
@@ -392,9 +410,11 @@ class RunLoop:
         from repro.rl.vector_trainer import VectorRunStats
 
         agent = vtrainer.agent
-        spec = getattr(
-            getattr(vtrainer, "venv", None), "observation_spec", None
-        )
+        spec = getattr(vtrainer, "observation_spec", None)
+        if spec is None:
+            spec = getattr(
+                getattr(vtrainer, "venv", None), "observation_spec", None
+            )
         ckpt = rt.load_checkpoint(self.phase)
         current = 0
         agg: Optional[dict] = None
@@ -402,11 +422,11 @@ class RunLoop:
             meta = ckpt.meta
             _check_observation(meta, spec)
             agg = _from_jsonable(meta.get("stats"))
-            self._restore(agent, ckpt.state)
+            self._restore(agent, ckpt.state, vtrainer)
             if meta.get("complete"):
                 return VectorRunStats(**agg)
             current = int(meta["next_step"])
-        segment = rt.checkpoint_every or total_steps
+        segment = segment_steps or rt.checkpoint_every or total_steps
         flush = getattr(agent, "flush_episode", None)
 
         while current < total_steps:
@@ -422,7 +442,7 @@ class RunLoop:
             complete = current >= total_steps
             rt.save_checkpoint(
                 self.phase,
-                self._capture(agent),
+                self._capture(agent, vtrainer),
                 {
                     "mode": "steps",
                     "next_step": current,

@@ -276,7 +276,75 @@ BENCH_ARTIFACTS = (
     "BENCH_score_step.json",
     "BENCH_screening.json",
     "BENCH_observation.json",
+    "BENCH_actor_learner.json",
 )
+
+
+def _actor_learner_section(record: RunRecord) -> str:
+    """Render per-actor telemetry of an actor/learner run.
+
+    Built from the ``actor_learner/*`` metric snapshot the trainer
+    records at the end of every segment: a per-actor row (transitions
+    pushed, push throughput, ring depth at snapshot, backpressure
+    waits) plus the learner-side gauges (idle fraction while starved
+    for transitions, the broadcast weight version, and the
+    weight-staleness histogram).  See docs/PARALLELISM.md,
+    "Actor/learner architecture".
+    """
+    by_name = {m.get("name"): m for m in record.metrics}
+    prefix = "actor_learner/"
+    num_actors = by_name.get(prefix + "num-actors")
+    if num_actors is None or not num_actors.get("value"):
+        return ""
+    n = int(num_actors["value"])
+    lines = ["Actor/learner runtime"]
+    rows = []
+    for i in range(n):
+        pushed = by_name.get(f"{prefix}transitions-actor{i}", {})
+        rate = by_name.get(f"{prefix}transitions-per-second-actor{i}", {})
+        depth = by_name.get(f"{prefix}ring-depth-actor{i}", {})
+        waits = by_name.get(f"{prefix}ring-full-waits-actor{i}", {})
+        rows.append(
+            (
+                i,
+                _fmt(pushed.get("value"), "g"),
+                _fmt(rate.get("value"), ".1f"),
+                _fmt(depth.get("value"), "g"),
+                _fmt(waits.get("value"), "g"),
+            )
+        )
+    lines.append(
+        render_table(
+            ["actor", "transitions", "trans/s", "ring depth",
+             "full waits"],
+            rows,
+            align=["r", "r", "r", "r", "r"],
+        )
+    )
+    consumed = by_name.get(prefix + "consumed-transitions")
+    idle = by_name.get(prefix + "learner-idle-fraction")
+    version = by_name.get(prefix + "weight-version")
+    detail = []
+    if consumed is not None:
+        detail.append(f"consumed {_fmt(consumed.get('value'), 'g')}")
+    if version is not None:
+        detail.append(f"weight version {_fmt(version.get('value'), 'g')}")
+    if idle is not None:
+        detail.append(
+            f"learner idle fraction {_fmt(idle.get('value'), '.3f')}"
+        )
+    if detail:
+        lines.append("  learner: " + "  ".join(detail))
+    staleness = by_name.get(prefix + "weight-staleness-steps")
+    if staleness is not None:
+        lines.append(
+            "  weight staleness (steps): "
+            f"mean {_fmt(staleness.get('mean'), '.1f')}  "
+            f"p50 {_fmt(staleness.get('p50'), '.1f')}  "
+            f"p99 {_fmt(staleness.get('p99'), '.1f')}  "
+            f"max {_fmt(staleness.get('max'), '.1f')}"
+        )
+    return "\n".join(lines)
 
 
 def _screening_section(record: RunRecord) -> str:
@@ -402,6 +470,9 @@ def render_summary(run_dir: PathLike) -> str:
     field_tel = _field_section(record)
     if field_tel:
         sections.append(field_tel)
+    actor_learner = _actor_learner_section(record)
+    if actor_learner:
+        sections.append(actor_learner)
     screening = _screening_section(record)
     if screening:
         sections.append(screening)
