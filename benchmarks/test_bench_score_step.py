@@ -59,6 +59,12 @@ ARTIFACT = Path(
 
 N_POSES = 240
 PASSES = 2
+#: Pose-batch size for the batched scoring rows (the screening driver's
+#: shard-scale batch).
+BATCH_K = 64
+#: Required batched-field throughput over the single-pose field path at
+#: ``BATCH_K`` (ISSUE 10 acceptance; measured well above).
+FIELD_BATCH_SPEEDUP_BOUND = 3.0
 #: Documented per-step score-change drift of cutoff truncation vs exact
 #: at the default cutoff on the 2BSM-scale synthetic complex, calm
 #: regime (measured ~57 kcal/mol; docs/PERFORMANCE.md, "Scoring
@@ -113,6 +119,21 @@ def _measure(scorer, poses: np.ndarray) -> tuple[float, np.ndarray]:
     return len(poses) / max(best, 1e-9), scores
 
 
+def _measure_batch(
+    scorer, poses: np.ndarray, k: int = BATCH_K
+) -> tuple[float, np.ndarray]:
+    """(poses/second, scores) scoring the trajectory in k-pose batches."""
+    scores = np.empty(len(poses))
+    scorer.score_batch(poses[:k])  # warm-up (maps, tables, Verlet list)
+    best = float("inf")
+    for _ in range(PASSES):
+        t0 = time.perf_counter()
+        for s in range(0, len(poses), k):
+            scores[s : s + k] = scorer.score_batch(poses[s : s + k])
+        best = min(best, time.perf_counter() - t0)
+    return len(poses) / max(best, 1e-9), scores
+
+
 def test_bench_score_step(paper_complex):
     built = paper_complex
     rec, lig = built.receptor, built.ligand_initial
@@ -137,7 +158,20 @@ def test_bench_score_step(paper_complex):
         fld.score(p)
         nf.append(fld.near_fraction)
     s_field32 = np.array([fld32.score(p) for p in poses])
-    field_bytes = fld.maps.nbytes() + fld._stack.nbytes
+    field_bytes = fld.maps.nbytes()
+
+    # Batched pose-major rows: the same trajectory scored in BATCH_K
+    # batches through the fused score_batch kernels.  Every batch path
+    # is bitwise-equal to the single-pose scores measured above.
+    rate_field_batch, sb_field = _measure_batch(fld, poses)
+    rate_cutoff_batch, sb_cutoff = _measure_batch(cutoff, poses)
+    inc_batch = IncrementalScorer(
+        rec, lig, cutoff=DEFAULT_CUTOFF, skin=DEFAULT_SKIN
+    )
+    rate_inc_batch, sb_inc = _measure_batch(inc_batch, poses)
+    assert np.array_equal(sb_field, s_field)
+    assert np.array_equal(sb_cutoff, s_cutoff)
+    assert np.array_equal(sb_inc, s_inc)
     # rebuild rate over one pass (the count accumulated PASSES+warmup
     # passes over the same trajectory, so normalize by total calls).
     total_inc_calls = PASSES * N_POSES + 20
@@ -222,6 +256,20 @@ def test_bench_score_step(paper_complex):
         "field_float32_calm_step_drift_vs_exact": round(
             field32_calm_drift, 3
         ),
+        "batch_k": BATCH_K,
+        "field_batch_poses_per_second": round(rate_field_batch, 2),
+        "speedup_field_batch_vs_single": round(
+            rate_field_batch / rate_field, 3
+        ),
+        "cutoff_batch_poses_per_second": round(rate_cutoff_batch, 2),
+        "speedup_cutoff_batch_vs_single": round(
+            rate_cutoff_batch / rate_cutoff, 3
+        ),
+        "incremental_batch_poses_per_second": round(rate_inc_batch, 2),
+        "speedup_incremental_batch_vs_single": round(
+            rate_inc_batch / rate_inc, 3
+        ),
+        "batch_bitwise_equal": True,
     }
     ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nscore-step throughput: {payload}")
@@ -240,3 +288,8 @@ def test_bench_score_step(paper_complex):
     assert rate_field >= 5.0 * rate_inc, payload
     assert field_calm_drift <= FIELD_CALM_STEP_BOUND, payload
     assert field_clash_rel <= FIELD_CLASH_REL_BOUND, payload
+    # Pose-major batching: the fused field kernel must amortize per-call
+    # overhead into >= 3x single-pose throughput at k=64 (ISSUE 10).
+    assert (
+        rate_field_batch >= FIELD_BATCH_SPEEDUP_BOUND * rate_field
+    ), payload

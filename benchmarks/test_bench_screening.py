@@ -11,7 +11,12 @@ the incremental (Verlet-list) scorer and measures:
 - ranking identity: sharded and serial runs must produce the identical
   ranking (bit-equal scores, same order);
 - resume identity: an interrupted-then-resumed screen must reproduce
-  the uninterrupted ranking bit-for-bit.
+  the uninterrupted ranking bit-for-bit;
+- the policy-mode rollout hot path: ligands/min of the pre-batching
+  per-ligand reference loop versus the batched ``greedy_rollout`` over
+  field-scored engines sharing one ``FieldMaps`` (results asserted
+  bit-equal), plus the ``policy_forward_passes`` /
+  ``score_batch_calls`` counters a policy-strategy screen reports.
 
 Writes ``BENCH_screening.json`` for the CI screening-bench job (the
 artifact renders in ``repro inspect`` when dropped into a run dir).
@@ -38,6 +43,8 @@ ARTIFACT = Path(
 N_LIGANDS = 6
 BUDGET = 240
 SEED = 2018
+#: Greedy-rollout step cap for the policy-mode leg.
+POLICY_STEPS = 40
 #: Required sharded (workers=2) over serial throughput on multi-core
 #: runners.  Two workers on independent shards should approach 2x; 1.5x
 #: leaves headroom for pool startup and the receptor pickle.
@@ -102,6 +109,72 @@ def test_bench_screening(paper_complex, tmp_path):
     assert resumed.shards_cached >= 1
     resume_bit_equal = resumed.hits == serial.hits
 
+    # Policy-mode leg: the batched rollout versus the per-ligand
+    # reference loop over field-scored engines sharing one FieldMaps
+    # (the same sharing the screening workers set up), then a real
+    # policy-strategy screen for the batching counters.
+    from repro.metadock.screening import _engine_for
+    from repro.nn.checkpoints import save_network
+    from repro.nn.network import build_mlp
+    from repro.scoring.field import FieldMaps
+    from repro.screening.policy import _greedy_rollout_loop, greedy_rollout
+
+    maps = FieldMaps(paper_complex.receptor)
+
+    def _field_engines():
+        return [
+            _engine_for(
+                paper_complex,
+                e.ligand,
+                scoring_method="field",
+                scoring_kwargs={"cells": maps},
+            )
+            for e in library
+        ]
+
+    # Warm the lazy per-atom-type maps before timing so neither leg
+    # pays the one-time map builds (they are shared receptor-side
+    # state, not rollout work).
+    for eng in _field_engines():
+        eng.score()
+
+    loop_engines = _field_engines()
+    net = build_mlp(
+        max(e.state_dim() for e in loop_engines),
+        [32],
+        loop_engines[0].n_actions,
+        rng=SEED,
+    )
+    t0 = time.perf_counter()
+    loop_results, _ = _greedy_rollout_loop(
+        net, loop_engines, max_steps=POLICY_STEPS
+    )
+    loop_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    batch_results, roll_stats = greedy_rollout(
+        net, _field_engines(), max_steps=POLICY_STEPS
+    )
+    batched_s = time.perf_counter() - t0
+    assert batch_results == loop_results
+
+    policy_path = tmp_path / "policy.npz"
+    save_network(net, policy_path)
+    pol = run_screening(
+        paper_complex,
+        library,
+        ScreeningConfig(
+            strategy="policy",
+            policy_path=str(policy_path),
+            policy_max_steps=POLICY_STEPS,
+            seed=SEED,
+            workers=1,
+            shard_size=3,
+            scoring_method="field",
+        ),
+    )
+    assert pol.policy_forward_passes > 0
+    assert pol.score_batch_calls > 0
+
     cores = os.cpu_count() or 1
     core_starved = cores < 2
     speedup = serial_s / sharded_s if sharded_s > 0 else float("inf")
@@ -121,12 +194,27 @@ def test_bench_screening(paper_complex, tmp_path):
         "ranking_identical": sharded.hits == serial.hits,
         "resume_bit_equal": resume_bit_equal,
         "resumed_shards_cached": resumed.shards_cached,
+        "policy_max_steps": POLICY_STEPS,
+        "policy_loop_ligands_per_min": round(
+            N_LIGANDS / loop_s * 60.0, 2
+        ),
+        "policy_batched_ligands_per_min": round(
+            N_LIGANDS / batched_s * 60.0, 2
+        ),
+        "policy_batched_speedup": round(loop_s / batched_s, 3)
+        if batched_s > 0
+        else float("inf"),
+        "policy_rollout_bit_equal": batch_results == loop_results,
+        "policy_rollout_forward_passes": roll_stats.forward_passes,
+        "policy_forward_passes": pol.policy_forward_passes,
+        "score_batch_calls": pol.score_batch_calls,
     }
     ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))
 
     assert payload["ranking_identical"]
     assert payload["resume_bit_equal"]
+    assert payload["policy_rollout_bit_equal"]
     if not core_starved:
         assert speedup >= SPEEDUP_BOUND, (
             f"sharded speedup {speedup:.2f}x < {SPEEDUP_BOUND}x "

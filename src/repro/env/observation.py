@@ -114,6 +114,17 @@ class StateCodec:
         """The current engine state in this codec's format."""
         raise NotImplementedError
 
+    def encode_into(self, out: np.ndarray) -> None:
+        """Write the current state into ``out[:spec.dim]`` in place.
+
+        Batched rollout paths keep one (n, dim) row matrix alive and
+        re-encode rows per step; writing straight into the row skips the
+        intermediate buffer.  The default delegates to :meth:`encode`
+        (same values, one extra copy); codecs override with a direct
+        write when they can do so without changing the emitted floats.
+        """
+        out[: self.spec.dim] = self.encode()
+
     def static_state(self) -> np.ndarray | None:
         """Constant state prefix factored out of emission, if any."""
         return None
@@ -133,6 +144,12 @@ class RawCodec(StateCodec):
 
     def encode(self) -> np.ndarray:
         return self.engine.state_vector()
+
+    def encode_into(self, out: np.ndarray) -> None:
+        # state_into performs the same per-entry casts as assigning
+        # state_vector() into ``out`` would, minus the float64 staging
+        # array -- bit-identical rows either way.
+        self.engine.state_into(out)
 
 
 class CompactCodec(StateCodec):
@@ -203,6 +220,7 @@ class DescriptorCodec(StateCodec):
         )
         for buf in self._bufs:
             buf[dim - N_MOLECULE_DESCRIPTORS :] = tail
+        self._tail = tail
         self._flip = 0
         self.spec = ObservationSpec(
             mode="descriptor",
@@ -226,6 +244,27 @@ class DescriptorCodec(StateCodec):
             out=buf,
         )
         return buf
+
+    def encode_into(self, out: np.ndarray) -> None:
+        if out.dtype != np.float32:
+            # The emitted contract rounds every feature through float32;
+            # writing float64 rows directly would skip that rounding, so
+            # route wider targets through the buffered encode().
+            super().encode_into(out)
+            return
+        from repro.chem.descriptors import encode_pocket_features
+
+        dim = self.spec.dim
+        encode_pocket_features(
+            self.engine.ligand_coords(),
+            self._bonds,
+            self._masses,
+            self._total_mass,
+            self._pocket_center,
+            self._receptor_com,
+            out=out[:dim],
+        )
+        out[dim - self._tail.size : dim] = self._tail
 
 
 #: Mode name -> codec class.

@@ -274,6 +274,17 @@ class MetadockEngine:
             self.score_evaluations += 1
         return self._score_cache
 
+    def set_external_score(self, value: float) -> None:
+        """Install a score computed outside the engine for the current pose.
+
+        Batched rollout paths evaluate many engines' poses through one
+        ``score_batch`` call and hand each engine its entry here; the
+        cache and ``score_evaluations`` bookkeeping then match what a
+        plain :meth:`score` call would have produced.
+        """
+        self._score_cache = float(value)
+        self.score_evaluations += 1
+
     def score_pose(self, pose: Pose) -> float:
         """Score an arbitrary pose without disturbing engine state."""
         coords = apply_pose(self.template, pose, self.torsion_driver)
@@ -338,6 +349,25 @@ class MetadockEngine:
         out[off : off + n] = lig.reshape(-1)
         out[off + n :] = bond_vector_state(lig, self.template.bonds)
         return out
+
+    def state_into(self, out: np.ndarray) -> None:
+        """Write the raw state vector into ``out[:state_dim()]`` in place.
+
+        Same layout (and, entry for entry, the same casts) as assigning
+        :meth:`state_vector` into ``out`` -- without materializing the
+        intermediate float64 array.  ``out`` may be any float dtype and
+        may be longer than ``state_dim()``; the tail is left untouched.
+        """
+        lig = self.ligand_coords()
+        off = 0
+        if self.include_receptor_in_state:
+            off = self._receptor_flat.size
+            out[:off] = self._receptor_flat
+        n = lig.size
+        out[off : off + n] = lig.reshape(-1)
+        out[off + n : off + n + 3 * self.template.n_bonds] = (
+            bond_vector_state(lig, self.template.bonds)
+        )
 
     def observe(self) -> EngineObservation:
         """Snapshot of the current state/score/coordinates/pose."""

@@ -128,19 +128,29 @@ class MetaheuristicSchema:
 
     # -- schema phases ------------------------------------------------------
     def _initialize(self) -> tuple[list[Pose], np.ndarray]:
-        """Initialize(): spread candidates, keep the per-slot best."""
+        """Initialize(): spread candidates, keep the per-slot best.
+
+        All ``population_size x init_candidates`` candidates are drawn
+        slot-major (the exact RNG stream of per-slot generation) and
+        scored through **one** batched engine call; each slot then keeps
+        its best candidate.  Scores are bit-identical to the per-slot
+        batches -- ``score_batch`` entries do not depend on batch
+        composition.
+        """
         p = self.params
+        c = max(1, p.init_candidates)
+        cands = [
+            random_pose(self.rng, self.center, self.radius, self.n_torsions)
+            for _ in range(p.population_size * c)
+        ]
+        s = self._score_batch(cands)
         poses: list[Pose] = []
         scores = np.empty(p.population_size)
         for k in range(p.population_size):
-            cands = [
-                random_pose(self.rng, self.center, self.radius, self.n_torsions)
-                for _ in range(max(1, p.init_candidates))
-            ]
-            s = self._score_batch(cands)
-            best = int(np.argmax(s))
-            poses.append(cands[best])
-            scores[k] = s[best]
+            slot = s[k * c : (k + 1) * c]
+            best = int(np.argmax(slot))
+            poses.append(cands[k * c + best])
+            scores[k] = slot[best]
         return poses, scores
 
     def _select(self, poses: list[Pose], scores: np.ndarray) -> list[int]:

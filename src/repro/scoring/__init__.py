@@ -28,7 +28,7 @@ from repro.scoring.lennard_jones import lennard_jones_energy
 from repro.scoring.hbond import hbond_energy
 from repro.scoring.neighborlist import CellList
 from repro.scoring.grid import PotentialGrid
-from repro.scoring.field import FieldMaps, FieldScorer
+from repro.scoring.field import FieldMaps, FieldScorer, score_field_group
 from repro.scoring.incremental import IncrementalScorer
 from repro.scoring.reference import sequential_score_algorithm1
 from repro.scoring.scorers import (
@@ -38,7 +38,9 @@ from repro.scoring.scorers import (
     ExactScorer,
     GridScorer,
     ScorerEntry,
+    as_pose_batch,
     make_scorer,
+    score_pose_group,
     validate_scoring_kwargs,
 )
 
@@ -54,6 +56,9 @@ __all__ = [
     "PotentialGrid",
     "FieldMaps",
     "FieldScorer",
+    "score_field_group",
+    "score_pose_group",
+    "as_pose_batch",
     "sequential_score_algorithm1",
     "ExactScorer",
     "CutoffScorer",

@@ -23,11 +23,7 @@ from repro.chem.molecule import Molecule
 from repro.scoring import electrostatics as elec
 from repro.scoring import hbond as hb
 from repro.scoring import lennard_jones as lj
-from repro.scoring.pairwise import (
-    direction_vectors,
-    pairwise_distances,
-    pairwise_distances_batch,
-)
+from repro.scoring.pairwise import direction_vectors, pairwise_distances
 
 
 @dataclass(frozen=True)
@@ -185,13 +181,18 @@ def score_pose_batch(
 ) -> np.ndarray:
     """Scores for ``k`` ligand coordinate sets against one receptor.
 
-    ``coords_batch`` has shape (k, m, 3).  Evaluation is chunked so the
-    (chunk, n, m) temporaries stay cache-resident; a sweep on an 800-atom
-    receptor put the optimum near chunk=16 (larger chunks thrash L2,
-    smaller ones pay per-call overhead).  Returns shape (k,) scores
-    (higher = better).  ``tables`` optionally supplies the cached
-    static-topology arrays (identical results either way).
+    ``coords_batch`` has shape (k, m, 3); returns shape (k,) scores
+    (higher = better).  The static-topology tables are built (or taken
+    from ``tables``) once and each pose then runs through exactly the
+    single-pose kernels — the same per-pose GEMM distance matrix and
+    term reductions :func:`interaction_breakdown` uses — so every entry
+    is **bitwise-equal** to ``interaction_score(receptor,
+    ligand.with_coords(coords_batch[i]))`` while the per-call table
+    construction (the dominant fixed cost of a singles loop) is
+    amortized across the batch.  ``chunk`` is retained for API
+    compatibility; evaluation is per pose.
     """
+    del chunk  # bitwise-per-pose evaluation needs no chunked temporaries
     cb = np.asarray(coords_batch, dtype=float)
     if cb.ndim != 3 or cb.shape[1:] != (ligand.n_atoms, 3):
         raise ValueError(
@@ -199,27 +200,23 @@ def score_pose_batch(
         )
     k = cb.shape[0]
     out = np.empty(k)
+    if k == 0:
+        # Empty batch: short-circuit before building scoring tables.
+        return out
     t = tables if tables is not None else ScoringTables.build(
         receptor, ligand
     )
     use_hb = include_hbond and t.rows_any
-    for start in range(0, k, chunk):
-        stop = min(start + chunk, k)
-        d = pairwise_distances_batch(receptor.coords, cb[start:stop])
-        e = elec.electrostatic_energy_batch(
-            receptor.charges, ligand.charges, d
-        )
-        e += lj.lennard_jones_energy_batch_pre(t.sig_full, t.eps_full, d)
+    for i in range(k):
+        d = pairwise_distances(receptor.coords, cb[i])
+        e = elec.electrostatic_energy(receptor.charges, ligand.charges, d)
+        e += lj.lennard_jones_energy_pre(t.sig_full, t.eps_full, d)
         if use_hb:
-            cos_t, sin_t = hb.hbond_angle_factors_batch(
-                t.rec_sub, cb[start:stop], t.dirs_sub
+            cos_t, sin_t = hb.hbond_angle_factors(
+                t.rec_sub, cb[i], t.dirs_sub
             )
-            # hbond_energy_matrix is elementwise: broadcasting the pair
-            # parameters across the (chunk, rows, m) batch is exact.
-            corr = hb.hbond_energy_matrix(
-                d[:, t.rows, :], t.mask_sub[None, :, :], cos_t, sin_t,
-                t.sig_sub[None, :, :], t.eps_sub[None, :, :],
+            e += hb.hbond_energy(
+                d[t.rows], t.mask_sub, cos_t, sin_t, t.sig_sub, t.eps_sub
             )
-            e += corr.sum(axis=(1, 2))
-        out[start:stop] = -e
+        out[i] = -e
     return out

@@ -100,6 +100,7 @@ from repro.scoring import hbond as hb
 from repro.scoring import lennard_jones as lj
 from repro.scoring.composite import ScoringTables
 from repro.scoring.pairwise import direction_vectors, pairwise_distances
+from repro.scoring.scorers import as_pose_batch
 
 #: Default lattice spacing, angstrom.  The error-vs-spacing table in
 #: docs/PERFORMANCE.md motivates the default: with the clipped kernels
@@ -236,6 +237,16 @@ class FieldMaps:
         self._lj: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
         self._hb1210: dict[tuple, np.ndarray] = {}
         self._hblj: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+        # Combined-stack addressing: every distinct atom-type spec ever
+        # ensured gets a stable slot in one shared flattened stack
+        # ([phi, combined(spec 0), combined(spec 1), ...]), so *every*
+        # ligand scored against this receptor gathers from the same
+        # array -- the property the fused cross-ligand batch path
+        # (:func:`score_field_group`) relies on.  Slots are append-only;
+        # the stack is (re)assembled lazily in :meth:`flat_stack`.
+        self._slot: dict[tuple, int] = {}
+        self._flat_stack: np.ndarray | None = None
+        self._flat_slots = -1
         # H-bond receptor topology: full-length outward directions for
         # the pair corrections, plus the donor/acceptor subset the map
         # build iterates over.
@@ -282,7 +293,8 @@ class FieldMaps:
         return self._hblj[(key, cls)]
 
     def nbytes(self) -> int:
-        """Total map storage in bytes (including the clash-voxel table)."""
+        """Total map storage in bytes (including the clash-voxel table
+        and the shared combined interpolation stack)."""
         total = 0
         if self.phi is not None:
             total += self.phi.nbytes + self.near_mask.nbytes
@@ -297,7 +309,45 @@ class FieldMaps:
             total += arr.nbytes
         for rep, disp in self._hblj.values():
             total += rep.nbytes + disp.nbytes
+        if self._flat_stack is not None:
+            total += self._flat_stack.nbytes
         return total
+
+    def slot_of(self, spec: tuple) -> int:
+        """Combined-stack slot of an ensured atom-type spec."""
+        return self._slot[spec]
+
+    def flat_stack(self) -> np.ndarray:
+        """The flattened shared stack [phi, combined(slot 0), ...].
+
+        Rebuilt (by re-deriving every slot from the stored component
+        maps -- a pure, fixed-order float64 combination cast to the map
+        dtype, so every rebuild is bitwise identical) whenever new
+        specs have been ensured since the last assembly.  Slot ``1+s``
+        holds spec ``s``'s full non-electrostatic clipped-field energy
+        ``rep - disp + hb1210 - hb_rep + hb_disp``; slot 0 holds phi.
+        """
+        nslots = len(self._slot)
+        if self._flat_stack is not None and self._flat_slots == nslots:
+            return self._flat_stack
+        n_nodes = int(np.prod(self.shape))
+        flat = np.empty((1 + nslots) * n_nodes, dtype=self._np_dtype)
+        flat[:n_nodes] = self.phi.reshape(-1)
+        for spec, slot in self._slot.items():
+            sig, eps, don, acc = spec
+            rep, disp = self._lj[(sig, eps)]
+            combined = rep.astype(np.float64) - disp
+            cls = (don, acc)
+            if (don or acc) and self.class_eligible(cls).size:
+                combined += self._hb1210[cls]
+                hrep, hdisp = self._hblj[((sig, eps), cls)]
+                combined -= hrep
+                combined += hdisp
+            start = (1 + slot) * n_nodes
+            flat[start : start + n_nodes] = combined.reshape(-1)
+        self._flat_stack = flat
+        self._flat_slots = nslots
+        return flat
 
     # -- construction ------------------------------------------------------
     def ensure(self, specs) -> bool:
@@ -311,6 +361,9 @@ class FieldMaps:
         the same node distances).
         """
         specs = list(specs)
+        for s in specs:
+            if s not in self._slot:
+                self._slot[s] = len(self._slot)
         lj_keys = []
         for s in specs:
             key = (s[0], s[1])
@@ -557,11 +610,14 @@ class FieldScorer:
             ],
             dtype=np.int64,
         )
-        self._foff = (spec_ids + 1) * self._n_nodes
+        self._spec_ids = spec_ids
         self._inv_spacing = 1.0 / self._maps.spacing
         self._upper = self._maps.shape.astype(float) - 1.0
         self._max_idx = self._maps.shape - 2
-        self._stack: np.ndarray | None = None
+        # Built lazily: per-atom flat offsets of each atom's combined
+        # map slot in the shared stack, plus views of the stack / the
+        # flattened near mask.
+        self._foff: np.ndarray | None = None
         self._flat: np.ndarray | None = None
         self._near_flat: np.ndarray | None = None
         self._tracer = None
@@ -591,10 +647,9 @@ class FieldScorer:
         self._publish_size()
 
     def _publish_size(self) -> None:
-        if self._metrics is not None and self._stack is not None:
+        if self._metrics is not None and self._foff is not None:
             self._metrics.set(
-                FIELD_BYTES_METRIC,
-                float(self._maps.nbytes() + self._stack.nbytes),
+                FIELD_BYTES_METRIC, float(self._maps.nbytes())
             )
 
     # -- lazy build --------------------------------------------------------
@@ -605,43 +660,43 @@ class FieldScorer:
         return self._maps
 
     def _ensure_built(self) -> None:
-        if self._stack is not None:
+        maps = self._maps
+        if self._foff is None:
+            if self._tracer is not None:
+                with self._tracer.span("field-build"):
+                    maps.ensure(self._specs)
+                    self._bind_stack()
+            else:
+                maps.ensure(self._specs)
+                self._bind_stack()
+            self._publish_size()
             return
-        if self._tracer is not None:
-            with self._tracer.span("field-build"):
-                self._maps.ensure(self._specs)
-                self._build_stack()
-        else:
-            self._maps.ensure(self._specs)
-            self._build_stack()
-        self._publish_size()
+        # Another ligand sharing these maps may have ensured new specs
+        # since we last bound: the shared stack is reassembled then (our
+        # slots' contents are unchanged -- slots are append-only and
+        # each slot is a pure function of its own component maps), so
+        # just rebind the view.
+        flat = maps.flat_stack()
+        if flat is not self._flat:
+            self._flat = flat
+            self._publish_size()
 
-    def _build_stack(self) -> None:
-        """Fold component maps into one per-type combined map stack.
+    def _bind_stack(self) -> None:
+        """Bind per-atom offsets into the shared combined map stack.
 
-        Slot 0 holds phi; slot 1+g holds type g's full non-electrostatic
-        clipped-field energy.  The combination runs in float64 in a
-        fixed order and is cast to the map dtype, so the stack is a pure
-        function of the stored maps (warm == cold bitwise).
+        Stack slot 0 holds phi; slot ``1 + slot_of(spec)`` holds that
+        spec's full non-electrostatic clipped-field energy.  The stack
+        lives on :class:`FieldMaps` (one array per receptor, shared by
+        every ligand) and each slot is combined in float64 in a fixed
+        order then cast to the map dtype -- a pure function of the
+        stored maps, so warm == cold bitwise.
         """
         maps = self._maps
-        nx, ny, nz = (int(v) for v in maps.shape)
-        stack = np.empty(
-            (1 + len(self._specs), nx, ny, nz), dtype=maps._np_dtype
+        slots = np.array(
+            [maps.slot_of(s) for s in self._specs], dtype=np.int64
         )
-        stack[0] = maps.phi
-        for g, (sig, eps, don, acc) in enumerate(self._specs):
-            rep, disp = maps.lj_maps((sig, eps))
-            combined = rep.astype(np.float64) - disp
-            cls = (don, acc)
-            if (don or acc) and maps.class_eligible(cls).size:
-                combined += maps.hb1210_map(cls)
-                hrep, hdisp = maps.hb_lj_maps((sig, eps), cls)
-                combined -= hrep
-                combined += hdisp
-            stack[1 + g] = combined
-        self._stack = stack
-        self._flat = stack.reshape(-1)
+        self._foff = (slots[self._spec_ids] + 1) * self._n_nodes
+        self._flat = maps.flat_stack()
         self._near_flat = maps.near_mask.reshape(-1)
 
     # -- scoring -----------------------------------------------------------
@@ -837,13 +892,311 @@ class FieldScorer:
         return -energy
 
     def score_batch(self, coords_batch: np.ndarray) -> np.ndarray:
-        """Scores for (k, m, 3) poses; each entry matches :meth:`score`."""
-        cb = np.asarray(coords_batch, dtype=float)
-        if cb.ndim != 3 or cb.shape[1:] != (self.ligand.n_atoms, 3):
-            raise ValueError(
-                f"coords_batch must have shape (k, {self.ligand.n_atoms}, 3)"
+        """Scores for (k, m, 3) poses; bitwise-equal per entry to
+        :meth:`score`.
+
+        Pose-major fused path: per chunk of poses, one trilinear corner
+        gather / einsum over the shared stack covers every in-box atom
+        of every pose, the voxel CSR candidate table is expanded across
+        all flagged atoms at once, and only the per-pose scalar
+        reductions (contiguous-slice einsums, rare exact columns, pair
+        corrections) remain in Python.  Every floating-point reduction
+        stays per-pose over the same arrays in the same order as
+        :meth:`score`, so entries are bitwise identical to sequential
+        single-pose calls.  ``near_fraction`` ends at the last pose's
+        value and the near-field histogram observes one value per pose,
+        exactly as sequential calls would.
+        """
+        m = self.ligand.n_atoms
+        cb = as_pose_batch(coords_batch, m)
+        k = cb.shape[0]
+        out = np.empty(k)
+        if k == 0:
+            return out
+        self._ensure_built()
+        # Chunk so the (2*rows, 8) corner/weight temporaries stay a few
+        # MB (see docs/PERFORMANCE.md "Batched pose evaluation").
+        step = max(1, _BATCH_CHUNK_ROWS // max(1, m))
+        last_frac = self.near_fraction
+        for s in range(0, k, step):
+            e = min(s + step, k)
+            scores, fracs = _fused_scores(
+                [self] * (e - s), cb[s:e].reshape(-1, 3), [m] * (e - s)
             )
-        out = np.empty(cb.shape[0])
-        for i in range(cb.shape[0]):
-            out[i] = self.score(cb[i])
+            out[s:e] = scores
+            if self._metrics is not None:
+                for f in fracs:
+                    self._metrics.observe(NEAR_FRACTION_METRIC, float(f))
+            last_frac = float(fracs[-1])
+        self.near_fraction = last_frac
         return out
+
+
+#: Ligand-atom rows per fused chunk in :meth:`FieldScorer.score_batch`:
+#: bounds the (2*rows, 8) float64 corner + weight temporaries to ~4 MB.
+_BATCH_CHUNK_ROWS = 16384
+
+
+def _fused_scores(scorers, pts, sizes):
+    """Fused field evaluation of ``len(sizes)`` poses over one stack.
+
+    ``scorers[i]`` scores the pose occupying rows
+    ``starts[i]:starts[i]+sizes[i]`` of ``pts`` (float64 ``(R, 3)``).
+    All scorers must share one built :class:`FieldMaps` (they gather
+    from its shared flat stack -- their per-atom slot offsets address
+    it directly, which is what lets heterogeneous ligands fuse).
+
+    Returns ``(scores, near_fracs)``; each entry is bitwise-equal to
+    ``scorers[i].score(pose_i)``: the batched stages are elementwise or
+    per-row (identical values regardless of batch), while every
+    floating-point *reduction* -- the corner einsum, the exact-column
+    energy, the pair-correction sum -- runs per pose over contiguous
+    slices laid out exactly like the single-pose arrays, in the same
+    accumulation order (interpolation, out-of-box columns, pair
+    corrections).
+    """
+    k = len(sizes)
+    sizes = np.asarray(sizes, dtype=np.int64)
+    starts = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(sizes, out=starts[1:])
+    s0 = scorers[0]
+    maps = s0._maps
+    flat = maps.flat_stack()
+    frac = (pts - maps.origin) * s0._inv_spacing
+    in_box = (frac >= 0.0).all(axis=1) & (frac <= s0._upper).all(axis=1)
+    idx = np.floor(frac).astype(np.int64)
+    np.clip(idx, 0, s0._max_idx, out=idx)
+    base = idx @ s0._strides
+    item_of = np.repeat(np.arange(k, dtype=np.int64), sizes)
+    ib_all = np.flatnonzero(in_box)
+    item_ib = item_of[ib_all]
+    b_counts = np.bincount(item_ib, minlength=k).astype(np.int64)
+    ib_bounds = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(b_counts, out=ib_bounds[1:])
+    n_ib = ib_all.size
+    corners = w = None
+    pair_e = pair_bounds = uniq_cum = None
+    if n_ib:
+        base_ib = base[ib_all]
+        # Trilinear corner weights for every in-box row (same
+        # elementwise ops and column order as _interp_energy).
+        t_ib = (frac - idx)[ib_all]
+        tx, ty, tz = t_ib[:, 0], t_ib[:, 1], t_ib[:, 2]
+        ex, ey, ez = 1.0 - tx, 1.0 - ty, 1.0 - tz
+        p00 = ex * ey
+        p01 = ex * ty
+        p10 = tx * ey
+        p11 = tx * ty
+        pw = np.empty((n_ib, 8))
+        pw[:, 0] = p00 * ez
+        pw[:, 1] = p00 * tz
+        pw[:, 2] = p01 * ez
+        pw[:, 3] = p01 * tz
+        pw[:, 4] = p10 * ez
+        pw[:, 5] = p10 * tz
+        pw[:, 6] = p11 * ez
+        pw[:, 7] = p11 * tz
+        # Row layout replicates the single-pose lin/w arrays pose by
+        # pose: pose i's 2*b_i rows start at 2*ib_bounds[i], phi rows
+        # first, type rows after -- so the per-pose einsum below runs
+        # over a contiguous slice shaped exactly like _interp_energy's.
+        foff_rows = np.concatenate([sc._foff for sc in scorers])
+        ch_rows = np.concatenate([sc._charges for sc in scorers])
+        ranks = np.arange(n_ib, dtype=np.int64) - ib_bounds[item_ib]
+        pos_phi = 2 * ib_bounds[item_ib] + ranks
+        pos_typ = pos_phi + b_counts[item_ib]
+        lin = np.empty(2 * n_ib, dtype=np.int64)
+        lin[pos_phi] = base_ib
+        lin[pos_typ] = base_ib + foff_rows[ib_all]
+        w = np.empty((2 * n_ib, 8))
+        w[pos_typ] = pw
+        w[pos_phi] = pw * ch_rows[ib_all][:, None]
+        corners = flat[lin[:, None] + s0._corner_offs[None, :]]
+        # Batched near-field candidate expansion (same CSR arithmetic
+        # as score(), across all flagged atoms of all poses at once).
+        near = s0._near_flat[base_ib]
+        nz = np.flatnonzero(near)
+        if nz.size:
+            vox = base_ib[nz]
+            counts = maps.cand_count[vox].astype(np.int64)
+            total = int(counts.sum())
+            if total:
+                cum = np.zeros(counts.size, dtype=np.int64)
+                np.cumsum(counts[:-1], out=cum[1:])
+                rank = np.arange(total, dtype=np.int64)
+                rank -= np.repeat(cum, counts)
+                rank += np.repeat(maps.cand_start[vox], counts)
+                cand = maps.cand_atoms.take(rank).astype(np.int64)
+                lig_rows = np.repeat(ib_all[nz], counts)
+                diff = maps.receptor.coords.take(cand, axis=0)
+                diff -= pts.take(lig_rows, axis=0)
+                d2 = np.einsum("ij,ij->i", diff, diff)
+                keep = d2 <= maps.clash_radius * maps.clash_radius
+                if keep.any():
+                    pair_rec = np.compress(keep, cand)
+                    pair_row = np.compress(keep, lig_rows)
+                    pair_itm = np.compress(
+                        keep, np.repeat(item_ib[nz], counts)
+                    )
+                    pair_bounds = np.searchsorted(
+                        pair_itm, np.arange(k + 1)
+                    )
+                    pair_e = _pair_energies(
+                        scorers, maps, pts, pair_rec, pair_row, ch_rows
+                    )
+                    # Unique corrected ligand atoms per pose (the
+                    # near-fraction numerator): pair_row is
+                    # non-decreasing and pose slices never share rows,
+                    # so first-occurrence flags prefix-sum into
+                    # per-slice unique counts.
+                    firsts = np.empty(pair_row.size, dtype=np.int64)
+                    firsts[0] = 1
+                    firsts[1:] = pair_row[1:] != pair_row[:-1]
+                    uniq_cum = np.zeros(
+                        pair_row.size + 1, dtype=np.int64
+                    )
+                    np.cumsum(firsts, out=uniq_cum[1:])
+    scores = np.empty(k)
+    fracs = np.empty(k)
+    for i in range(k):
+        m_i = int(sizes[i])
+        b = int(b_counts[i])
+        energy = 0.0
+        if b:
+            o = 2 * int(ib_bounds[i])
+            energy += float(
+                np.einsum(
+                    "pc,pc->", corners[o : o + 2 * b], w[o : o + 2 * b]
+                )
+            )
+        n_ex = 0
+        if b < m_i:
+            lo, hi = int(starts[i]), int(starts[i + 1])
+            oob = np.flatnonzero(~in_box[lo:hi])
+            energy += scorers[i]._exact_energy(pts[lo:hi], oob)
+            n_ex += oob.size
+        if pair_bounds is not None:
+            p0, p1 = int(pair_bounds[i]), int(pair_bounds[i + 1])
+            if p1 > p0:
+                # Same floats as _pair_correction's final e.sum(): the
+                # slice is contiguous with identical length and values.
+                energy += float(pair_e[p0:p1].sum())
+                n_ex += int(uniq_cum[p1] - uniq_cum[p0])
+        scores[i] = -energy
+        fracs[i] = n_ex / m_i
+    return scores, fracs
+
+
+def _pair_energies(scorers, maps, pts, pair_rec, pair_row, ch_rows):
+    """Per-pair exact-vs-clipped corrections across all poses at once.
+
+    The elementwise chain of :meth:`FieldScorer._pair_correction`
+    evaluated over every kept (receptor, ligand-row) pair of the fused
+    batch -- per-pair values are independent of batch composition, so
+    each pose's contiguous slice sums to exactly what its own
+    ``_pair_correction`` call would return.  Ligand-side parameters are
+    gathered through concatenated per-scorer rows, which is what lets
+    heterogeneous ligands share the batch.
+    """
+    rec = maps.receptor
+    sig_rows = np.concatenate([sc.ligand.sigma for sc in scorers])
+    eps_rows = np.concatenate([sc.ligand.epsilon for sc in scorers])
+    don_rows = np.concatenate([sc.ligand.hbond_donor for sc in scorers])
+    acc_rows = np.concatenate(
+        [sc.ligand.hbond_acceptor for sc in scorers]
+    )
+    u = pts[pair_row] - rec.coords[pair_rec]
+    r = np.sqrt((u * u).sum(axis=1))
+    r_md = np.maximum(r, MIN_DISTANCE)
+    r_c = np.maximum(r, maps.clip_radius)
+    inv_md = 1.0 / r_md
+    inv_c = 1.0 / r_c
+    e = (
+        COULOMB_CONSTANT
+        * rec.charges[pair_rec]
+        * ch_rows[pair_row]
+        * (inv_md - inv_c)
+    )
+    sig = 0.5 * (rec.sigma[pair_rec] + sig_rows[pair_row])
+    epsp = 4.0 * np.sqrt(rec.epsilon[pair_rec] * eps_rows[pair_row])
+    s6 = sig**6
+    w12 = epsp * s6 * s6
+    w6 = epsp * s6
+    i6_md = inv_md**6
+    i6_c = inv_c**6
+    lj_md = w12 * (i6_md * i6_md) - w6 * i6_md
+    lj_c = w12 * (i6_c * i6_c) - w6 * i6_c
+    e += lj_md - lj_c
+    elig = (rec.hbond_donor[pair_rec] & acc_rows[pair_row]) | (
+        rec.hbond_acceptor[pair_rec] & don_rows[pair_row]
+    )
+    if elig.any():
+        sel = np.flatnonzero(elig)
+        ri = pair_rec[sel]
+        dirs = maps.dirs_full[ri]
+        dot = (dirs * u[sel]).sum(axis=1)
+        cos_e = dot / np.maximum(r[sel], 1e-9)
+        cos_e[maps.iso_full[ri]] = 1.0
+        np.clip(cos_e, 0.0, 1.0, out=cos_e)
+        sin_e = np.sqrt(np.maximum(0.0, 1.0 - cos_e * cos_e))
+        cos_c = dot * inv_c[sel]
+        cos_c[maps.iso_full[ri]] = 1.0
+        np.clip(cos_c, 0.0, 1.0, out=cos_c)
+        sin_c = np.sqrt(np.maximum(0.0, 1.0 - cos_c * cos_c))
+        c_hb, d_hb = hb.hbond_coefficients()
+        i10_md = i6_md[sel] * inv_md[sel] ** 4
+        i10_c = i6_c[sel] * inv_c[sel] ** 4
+        e1210_md = c_hb * (i10_md * inv_md[sel] ** 2) - d_hb * i10_md
+        e1210_c = c_hb * (i10_c * inv_c[sel] ** 2) - d_hb * i10_c
+        corr = cos_e * e1210_md - (1.0 - sin_e) * lj_md[sel]
+        corr -= cos_c * e1210_c - (1.0 - sin_c) * lj_c[sel]
+        e[sel] += corr
+    return e
+
+
+def score_field_group(entries) -> np.ndarray:
+    """Score one pose per :class:`FieldScorer` in fused evaluations.
+
+    ``entries`` is a sequence of ``(scorer, coords)`` pairs -- the
+    scorers may wrap *different ligands* (heterogeneous atom counts and
+    types).  Entries are grouped by their shared :class:`FieldMaps`
+    instance; each group evaluates through one fused kernel over the
+    maps' combined stack, so a screening shard's ligands against one
+    receptor batch into a single gather.  Per-entry results (score,
+    ``near_fraction``, the near-field histogram observation) are
+    bitwise-equal to calling ``scorer.score(coords)`` sequentially.
+    """
+    n = len(entries)
+    out = np.empty(n)
+    if n == 0:
+        return out
+    prepared = []
+    for sc, coords in entries:
+        if not isinstance(sc, FieldScorer):
+            raise TypeError(
+                "score_field_group entries must pair FieldScorer "
+                f"instances with coords, got {type(sc).__name__}"
+            )
+        lig = np.asarray(coords, dtype=float)
+        m = sc.ligand.n_atoms
+        if lig.shape != (m, 3):
+            raise ValueError(f"coords must have shape ({m}, 3)")
+        sc._ensure_built()
+        prepared.append((sc, lig, m))
+    groups: dict[int, list[int]] = {}
+    for i, (sc, _, _) in enumerate(prepared):
+        groups.setdefault(id(sc._maps), []).append(i)
+    for idxs in groups.values():
+        scorers = [prepared[i][0] for i in idxs]
+        sizes = [prepared[i][2] for i in idxs]
+        pts = np.concatenate([prepared[i][1] for i in idxs], axis=0)
+        scores, fracs = _fused_scores(scorers, pts, sizes)
+        for j, i in enumerate(idxs):
+            sc = scorers[j]
+            out[i] = scores[j]
+            sc.near_fraction = float(fracs[j])
+            if sc._metrics is not None:
+                sc._metrics.observe(
+                    NEAR_FRACTION_METRIC, sc.near_fraction
+                )
+    return out

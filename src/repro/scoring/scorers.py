@@ -37,6 +37,22 @@ from repro.scoring.neighborlist import CellList, query_pairs
 from repro.scoring.pairwise import direction_vectors
 
 
+def as_pose_batch(coords_batch: np.ndarray, n_atoms: int) -> np.ndarray:
+    """Validate a many-pose array into float64 ``(k, n_atoms, 3)``.
+
+    The shared front door of every scorer's ``score_batch``: one
+    place for the shape/dtype contract, so empty batches (``k == 0``)
+    can short-circuit *before* any lazy structure (potential grid,
+    field maps, scoring tables) is built.
+    """
+    cb = np.asarray(coords_batch, dtype=float)
+    if cb.ndim != 3 or cb.shape[1:] != (n_atoms, 3):
+        raise ValueError(
+            f"coords_batch must have shape (k, {n_atoms}, 3)"
+        )
+    return cb
+
+
 class PoseScorer(Protocol):
     """Coordinates -> METADOCK score (higher = better)."""
 
@@ -200,11 +216,7 @@ class CutoffScorer:
         Pair order within a pose matches :meth:`score` exactly, so each
         entry is bit-identical to the single-pose result.
         """
-        cb = np.asarray(coords_batch, dtype=float)
-        if cb.ndim != 3 or cb.shape[1:] != (self.ligand.n_atoms, 3):
-            raise ValueError(
-                f"coords_batch must have shape (k, {self.ligand.n_atoms}, 3)"
-            )
+        cb = as_pose_batch(coords_batch, self.ligand.n_atoms)
         k, m, _ = cb.shape
         out = np.zeros(k)
         if k == 0:
@@ -275,6 +287,12 @@ class GridScorer:
     ):
         if spacing <= 0:
             raise ValueError("spacing must be positive")
+        # Validate eagerly (PotentialGrid would only catch this at the
+        # lazy first build, deep inside a worker).
+        if dtype not in ("float32", "float64"):
+            raise ValueError(
+                f"dtype must be 'float32' or 'float64', got {dtype!r}"
+            )
         if cells is not None and not isinstance(cells, PotentialGrid):
             raise TypeError(
                 "cells must be a prebuilt PotentialGrid, got "
@@ -351,11 +369,48 @@ class GridScorer:
         return out
 
     def score_batch(self, coords_batch: np.ndarray) -> np.ndarray:
+        cb = as_pose_batch(coords_batch, self.ligand.n_atoms)
+        if cb.shape[0] == 0:
+            # Empty batch: nothing to interpolate -- return before the
+            # lazy grid build is triggered.
+            return np.empty(0)
         out = self.grid.score_batch(
-            self.ligand, coords_batch, weights=self._weights
+            self.ligand, cb, weights=self._weights
         )
         self._publish_oob()
         return out
+
+
+def score_pose_group(entries) -> np.ndarray:
+    """Score one ``(scorer, coords)`` pose per entry, fusing where possible.
+
+    The cross-ligand batching front door used by the screening rollout:
+    entries whose scorer is a :class:`~repro.scoring.field.FieldScorer`
+    are routed through :func:`~repro.scoring.field.score_field_group`
+    (one fused gather per shared :class:`FieldMaps`, covering
+    heterogeneous ligands against one receptor); every other scorer
+    falls back to its single-pose ``score()``.  Entry ``i``'s result is
+    bitwise-equal to ``entries[i][0].score(entries[i][1])``, including
+    scorer-side telemetry, evaluated in entry order within each path.
+    """
+    entries = list(entries)
+    out = np.empty(len(entries))
+    field_idx = []
+    try:
+        from repro.scoring.field import FieldScorer, score_field_group
+    except ImportError:  # pragma: no cover - field always importable
+        FieldScorer = None
+        score_field_group = None
+    for i, (scorer, coords) in enumerate(entries):
+        if FieldScorer is not None and isinstance(scorer, FieldScorer):
+            field_idx.append(i)
+        else:
+            out[i] = scorer.score(coords)
+    if field_idx:
+        fused = score_field_group([entries[i] for i in field_idx])
+        for j, i in enumerate(field_idx):
+            out[i] = fused[j]
+    return out
 
 
 def _make_incremental(receptor: Molecule, ligand: Molecule, **kwargs):

@@ -18,9 +18,11 @@ from repro.screening.driver import (
 )
 from repro.screening.plan import Shard, ShardPlan, plan_shards, ranking_key
 from repro.screening.policy import (
+    BatchedRolloutState,
     PolicyBundle,
     PolicyLoadError,
     RolloutResult,
+    RolloutStats,
     greedy_rollout,
     load_policy,
 )
@@ -29,9 +31,11 @@ __all__ = [
     "DEFAULT_SHARD_SIZE",
     "HITS_NAME",
     "RANKING_NAME",
+    "BatchedRolloutState",
     "PolicyBundle",
     "PolicyLoadError",
     "RolloutResult",
+    "RolloutStats",
     "Shard",
     "ShardPlan",
     "ScreeningConfig",

@@ -159,6 +159,11 @@ class ScreeningResult:
     strategy: str
     wall_seconds: float
     ligands_per_min: float
+    #: Batched Q-network forward passes across all policy-mode shards
+    #: (0 for search strategies and for pre-batching cached payloads).
+    policy_forward_passes: int = 0
+    #: Batched pose-scoring group calls across all policy-mode shards.
+    score_batch_calls: int = 0
 
     def summary(self) -> str:
         rows = [
@@ -290,6 +295,7 @@ def _run_shard(task: tuple) -> dict:
     scoring_kwargs = _worker_scoring_kwargs(worker)
     hits: list[dict] = []
     forward_passes = 0
+    score_batch_calls = 0
     if config.strategy == "policy":
         if worker["network"] is None:
             worker["network"] = worker["policy"].build_network()
@@ -302,7 +308,7 @@ def _run_shard(task: tuple) -> dict:
             )
             for i in indices
         ]
-        results, forward_passes = greedy_rollout(
+        results, stats = greedy_rollout(
             worker["network"],
             engines,
             max_steps=config.policy_max_steps,
@@ -310,6 +316,8 @@ def _run_shard(task: tuple) -> dict:
                 worker["policy"], "observation_mode", "raw"
             ),
         )
+        forward_passes = stats.forward_passes
+        score_batch_calls = stats.score_batch_calls
         for i, res in zip(indices, results):
             hits.append(
                 {
@@ -339,6 +347,7 @@ def _run_shard(task: tuple) -> dict:
         "hits": hits,
         "seconds": time.perf_counter() - t0,
         "forward_passes": int(forward_passes),
+        "score_batch_calls": int(score_batch_calls),
     }
 
 
@@ -525,6 +534,13 @@ def run_screening(
     ]
     wall = time.perf_counter() - t0
     per_min = plan.n_ligands / max(wall, 1e-9) * 60.0
+    # .get(): payloads memoized by pre-batching runs lack the counters.
+    total_forward = sum(
+        int(p.get("forward_passes", 0)) for p in payloads.values()
+    )
+    total_score_batches = sum(
+        int(p.get("score_batch_calls", 0)) for p in payloads.values()
+    )
     if run_dir is not None:
         document = {
             "strategy": config.strategy,
@@ -549,6 +565,8 @@ def run_screening(
             cached_shards=len(cached_ids),
             wall_seconds=round(wall, 6),
             ligands_per_min=round(per_min, 3),
+            policy_forward_passes=total_forward,
+            score_batch_calls=total_score_batches,
         )
         telemetry.flush()
     hit_objects = [
@@ -573,4 +591,6 @@ def run_screening(
         strategy=config.strategy,
         wall_seconds=wall,
         ligands_per_min=per_min,
+        policy_forward_passes=total_forward,
+        score_batch_calls=total_score_batches,
     )

@@ -390,6 +390,12 @@ def _screening_section(record: RunRecord) -> str:
             f"{_fmt(e.get('wall_seconds'), '.2f')}s "
             f"({_fmt(e.get('ligands_per_min'), '.1f')} ligands/min)"
         )
+        if e.get("policy_forward_passes") or e.get("score_batch_calls"):
+            lines.append(
+                f"  policy batching: "
+                f"{e.get('policy_forward_passes', 0)} forward passes, "
+                f"{e.get('score_batch_calls', 0)} score-batch calls"
+            )
     if ranking_path.exists():
         try:
             hits = json.loads(ranking_path.read_text()).get("hits", [])

@@ -428,9 +428,9 @@ class TestPlumbing:
     def test_lazy_build(self, pair):
         rec, template, coords = pair
         fld = FieldScorer(rec, template, spacing=SPACING, padding=PADDING)
-        assert fld._stack is None and fld._maps.phi is None
+        assert fld._foff is None and fld._maps.phi is None
         fld.score(coords)
-        assert fld._stack is not None
+        assert fld._foff is not None and fld._flat is not None
 
 
 # ---------------------------------------------------------------------------
@@ -455,7 +455,7 @@ class TestTelemetry:
         eng.reset()
         scorer = eng.scorer
         assert reg.get(FIELD_BYTES_METRIC).value == float(
-            scorer.maps.nbytes() + scorer._stack.nbytes
+            scorer.maps.nbytes()
         )
         assert reg.get(NEAR_FRACTION_METRIC).count >= 1
         assert "field-build" in str(tr.report())

@@ -424,17 +424,82 @@ def test_policy_screen_deterministic_across_workers(
 
 def test_greedy_rollout_batches_and_pads(built, library, policy_net):
     engines = [_engine_for(built, e.ligand) for e in library[:3]]
-    results, passes = greedy_rollout(
+    results, stats = greedy_rollout(
         policy_net, engines, max_steps=6
     )
     assert len(results) == 3
     # One forward pass per step while any ligand is active.
-    assert 1 <= passes <= 6
+    assert 1 <= stats.forward_passes <= 6
+    # One grouped scoring call per step plus the initial-pose pass.
+    assert stats.score_batch_calls == stats.forward_passes + 1
     assert all(r.evaluations >= 1 for r in results)
     # Determinism of the batched rollout.
     engines2 = [_engine_for(built, e.ligand) for e in library[:3]]
     results2, _ = greedy_rollout(policy_net, engines2, max_steps=6)
     assert results == results2
+
+
+@pytest.mark.parametrize("mode", ["raw", "descriptor"])
+def test_greedy_rollout_matches_sequential_loop(
+    built, library, policy_net, mode
+):
+    """The batched hot path reproduces the per-ligand reference loop
+    bit for bit (scores, steps, termination) in both state modes."""
+    from repro.screening.policy import _greedy_rollout_loop
+
+    engines = [_engine_for(built, e.ligand) for e in library[:4]]
+    ref_engines = [_engine_for(built, e.ligand) for e in library[:4]]
+    net = policy_net
+    if mode == "descriptor":
+        from repro.env.observation import make_codec
+
+        dim = max(
+            make_codec("descriptor", e).spec.dim for e in engines
+        )
+        net = build_mlp(dim, [16], engines[0].n_actions, rng=7)
+    results, stats = greedy_rollout(
+        net, engines, max_steps=8, observation_mode=mode
+    )
+    ref_results, ref_passes = _greedy_rollout_loop(
+        net, ref_engines, max_steps=8, observation_mode=mode
+    )
+    assert results == ref_results
+    assert stats.forward_passes == ref_passes
+
+
+def test_greedy_rollout_matches_loop_field_scoring(
+    built, library, policy_net
+):
+    """Field-scored engines share one FieldMaps and go through the
+    fused group kernel; the rollout still matches the reference loop."""
+    from repro.scoring.field import FieldMaps
+    from repro.screening.policy import _greedy_rollout_loop
+
+    maps = FieldMaps(built.receptor)
+    engines = [
+        _engine_for(
+            built,
+            e.ligand,
+            scoring_method="field",
+            scoring_kwargs={"cells": maps},
+        )
+        for e in library[:3]
+    ]
+    ref_maps = FieldMaps(built.receptor)
+    ref_engines = [
+        _engine_for(
+            built,
+            e.ligand,
+            scoring_method="field",
+            scoring_kwargs={"cells": ref_maps},
+        )
+        for e in library[:3]
+    ]
+    results, _ = greedy_rollout(policy_net, engines, max_steps=6)
+    ref_results, _ = _greedy_rollout_loop(
+        policy_net, ref_engines, max_steps=6
+    )
+    assert results == ref_results
 
 
 def test_greedy_rollout_rejects_oversized_state(built, library):
